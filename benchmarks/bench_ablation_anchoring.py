@@ -1,0 +1,22 @@
+"""Ablation — left-anchored vs right-anchored initial solution (Section 6.2).
+
+Expected shape (paper): the two symmetric options perform similarly, with no
+side dominating across datasets.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_anchor_ablation
+from repro.bench.reporting import print_table
+
+
+def test_anchor_ablation(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_anchor_ablation(
+            datasets=("writer", "opsahl"), k_values=(1,), max_results=100, time_limit=5.0
+        ),
+    )
+    print()
+    print_table(rows, title="Ablation: left- vs right-anchored traversal (k=1)")
+    assert len(rows) == 2

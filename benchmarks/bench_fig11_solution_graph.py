@@ -1,0 +1,44 @@
+"""Figure 11 — solution-graph sparsity and running time of the iTraversal variants.
+
+Expected shape (paper): number of links G (bTraversal) ≫ G_L (iTraversal-ES-RS)
+≫ G_R (iTraversal-ES) ≥ G_E (iTraversal); the full iTraversal is the fastest
+end to end; links and running time grow quickly with k.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import (
+    experiment_fig11ab,
+    experiment_fig11cd,
+    experiment_variant_running_time,
+)
+from repro.bench.reporting import print_table
+
+
+def test_fig11a_solution_graph_links(benchmark):
+    rows = run_once(benchmark, lambda: experiment_fig11ab(k=1, max_left=6, max_right=8))
+    print()
+    print_table(rows, title="Figure 11(a): solution-graph links, k=1 (shrunken small datasets)")
+    for row in rows:
+        assert row["bTraversal_links"] >= row["iTraversal-ES-RS_links"]
+        assert row["iTraversal-ES-RS_links"] >= row["iTraversal-ES_links"]
+
+
+def test_fig11b_variant_running_time(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_variant_running_time(k=1, max_left=6, max_right=8, time_limit=8.0),
+    )
+    print()
+    print_table(rows, title="Figure 11(b): running time of iTraversal variants vs bTraversal")
+    assert len(rows) >= 2
+
+
+def test_fig11cd_vary_k(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig11cd(dataset="divorce", k_values=(1, 2), max_left=6, max_right=8),
+    )
+    print()
+    print_table(rows, title="Figure 11(c)/(d): solution-graph links and time vs k (Divorce)")
+    assert [row["k"] for row in rows] == [1, 2]

@@ -1,0 +1,37 @@
+"""Figure 12 — comparison of the EnumAlmostSat implementations.
+
+Expected shape (paper): running time grows with k for every variant;
+L2.0+R2.0 is the fastest refined combination and beats the Inflation baseline
+by up to three orders of magnitude.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_fig12
+from repro.bench.reporting import print_table
+
+
+def test_fig12_enumalmostsat_writer(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig12(dataset="writer", k_values=(1, 2), num_trials=40, time_limit=10.0),
+    )
+    print()
+    print_table(
+        rows,
+        title="Figure 12(a): EnumAlmostSat variants, avg seconds per call (Writer stand-in)",
+    )
+    assert rows
+
+
+def test_fig12_enumalmostsat_dblp(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig12(dataset="dblp", k_values=(1,), num_trials=25, time_limit=10.0),
+    )
+    print()
+    print_table(
+        rows,
+        title="Figure 12(b): EnumAlmostSat variants, avg seconds per call (DBLP stand-in)",
+    )
+    assert rows

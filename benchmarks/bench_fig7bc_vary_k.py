@@ -1,0 +1,34 @@
+"""Figure 7(b)/(c) — running time of bTraversal vs iTraversal when varying k.
+
+Expected shape (paper): both grow with k; iTraversal stays 1-4 orders of
+magnitude faster.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_fig7bc
+from repro.bench.reporting import print_table
+
+
+def test_fig7b_vary_k_writer(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig7bc(
+            dataset="writer", k_values=(1, 2, 3), max_results=100, time_limit=5.0
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 7(b): varying k (Writer stand-in)")
+    assert [row["k"] for row in rows] == [1, 2, 3]
+
+
+def test_fig7c_vary_k_dblp(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig7bc(
+            dataset="dblp", k_values=(1, 2), max_results=50, time_limit=5.0
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 7(c): varying k (DBLP stand-in)")
+    assert [row["k"] for row in rows] == [1, 2]

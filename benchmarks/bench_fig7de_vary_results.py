@@ -1,0 +1,34 @@
+"""Figure 7(d)/(e) — running time when varying the number of returned MBPs.
+
+Expected shape (paper): both algorithms scale with the number of requested
+results; iTraversal's curve sits far below bTraversal's.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_fig7de
+from repro.bench.reporting import print_table
+
+
+def test_fig7d_vary_results_writer(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig7de(
+            dataset="writer", result_counts=(1, 10, 100), time_limit=5.0
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 7(d): varying #MBPs (Writer stand-in)")
+    assert [row["num_results"] for row in rows] == [1, 10, 100]
+
+
+def test_fig7e_vary_results_dblp(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig7de(
+            dataset="dblp", result_counts=(1, 10, 100), time_limit=5.0
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 7(e): varying #MBPs (DBLP stand-in)")
+    assert [row["num_results"] for row in rows] == [1, 10, 100]

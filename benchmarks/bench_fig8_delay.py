@@ -1,0 +1,33 @@
+"""Figure 8 — empirical delay of the four algorithms.
+
+Expected shape (paper): iTraversal has the smallest delay (polynomial
+guarantee); iMB and FaPlexen have delays growing towards the total running
+time because their search may confirm the first/last solution only at the
+very end; delays grow with k for everyone.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_fig8a, experiment_fig8b
+from repro.bench.reporting import print_table
+
+
+def test_fig8a_delay_across_small_datasets(benchmark):
+    rows = run_once(
+        benchmark, lambda: experiment_fig8a(k=1, max_left=7, max_right=9, time_limit=10.0)
+    )
+    print()
+    print_table(rows, title="Figure 8(a): delay (seconds), k=1, shrunken small datasets")
+    assert rows
+
+
+def test_fig8b_delay_vary_k(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig8b(
+            dataset="divorce", k_values=(1, 2), max_left=7, max_right=9, time_limit=10.0
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 8(b): delay vs k (Divorce stand-in)")
+    assert [row["k"] for row in rows] == [1, 2]

@@ -1,0 +1,25 @@
+"""Figure 9(a) — scalability on synthetic ER graphs (varying the number of vertices).
+
+Expected shape (paper): iTraversal handles every size; bTraversal's running
+time explodes and hits INF on the larger graphs; the gap widens with size.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_fig9a
+from repro.bench.reporting import print_table
+
+
+def test_fig9a_vary_num_vertices(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig9a(
+            num_vertices_values=(100, 200, 400, 800),
+            edge_density=2.0,
+            max_results=100,
+            time_limit=6.0,
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 9(a): ER graphs, varying #vertices (density 2)")
+    assert [row["num_vertices"] for row in rows] == [100, 200, 400, 800]

@@ -1,0 +1,25 @@
+"""Figure 9(b) — scalability on synthetic ER graphs (varying edge density).
+
+Expected shape (paper): iTraversal wins by 1-5 orders of magnitude, with the
+speed-up narrowing as the graph gets denser.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_fig9b
+from repro.bench.reporting import print_table
+
+
+def test_fig9b_vary_edge_density(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiment_fig9b(
+            edge_density_values=(0.5, 1.0, 2.0, 4.0),
+            num_vertices=200,
+            max_results=100,
+            time_limit=6.0,
+        ),
+    )
+    print()
+    print_table(rows, title="Figure 9(b): ER graphs, varying edge density (200 vertices)")
+    assert [row["edge_density"] for row in rows] == [0.5, 1.0, 2.0, 4.0]

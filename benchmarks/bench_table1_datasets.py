@@ -1,0 +1,13 @@
+"""Table 1 — dataset statistics of the registry stand-ins vs the paper's originals."""
+
+from conftest import run_once
+
+from repro.bench.experiments import experiment_table1
+from repro.bench.reporting import print_table
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = run_once(benchmark, experiment_table1)
+    print()
+    print_table(rows, title="Table 1: datasets (stand-in vs paper)")
+    assert len(rows) == 10

@@ -1,0 +1,72 @@
+"""Case study: detecting fake reviewers with maximal k-biplexes (Figure 13).
+
+Run with ``python examples/fraud_detection.py``.
+
+The script injects a random camouflage attack into a synthetic review graph
+(fake users review a pool of fake products *and* sprinkle camouflage reviews
+on real products), then compares three cohesive-structure detectors —
+maximal bicliques, maximal 1-biplexes and the (α, β)-core — at recovering
+the injected users and products.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.analysis.fraud import (
+    FraudStudyConfig,
+    build_study_graph,
+    evaluate_alpha_beta_core,
+    evaluate_biclique,
+    evaluate_biplex,
+)
+
+
+def main() -> None:
+    config = FraudStudyConfig(
+        n_real_users=150,
+        n_real_products=60,
+        n_real_reviews=800,
+        n_fake_users=25,
+        n_fake_products=25,
+        fake_block_density=0.4,
+        theta_users=4,
+        seed=11,
+    )
+    graph, injection = build_study_graph(config)
+    print(
+        f"Review graph: {graph.n_left} users x {graph.n_right} products, "
+        f"{graph.num_edges} reviews "
+        f"({len(injection.fake_users)} fake users, {len(injection.fake_products)} fake products)"
+    )
+    print()
+    print(f"{'detector':<14} {'theta_R':>7} {'precision':>10} {'recall':>8} {'F1':>6}  structures")
+    print("-" * 60)
+
+    for theta_products in (3, 4, 5):
+        results = [
+            evaluate_biclique(graph, injection, config.theta_users, theta_products, 1000, 10.0),
+            evaluate_biplex(graph, injection, 1, config.theta_users, theta_products, 1000, 10.0),
+            evaluate_alpha_beta_core(graph, injection, alpha=theta_products, beta=config.theta_users),
+        ]
+        for result in results:
+            precision = f"{result.precision:.2f}" if result.defined else "ND"
+            f1 = f"{result.f1:.2f}" if result.defined else "ND"
+            print(
+                f"{result.structure:<14} {theta_products:>7} {precision:>10} "
+                f"{result.recall:>8.2f} {f1:>6}  {result.num_structures}"
+            )
+        print("-" * 60)
+
+    print(
+        "\nExpected shape (paper, Figure 13): 1-biplex keeps both precision and recall high,\n"
+        "bicliques lose recall as theta_R grows, and the (alpha, beta)-core has high recall\n"
+        "but low precision because it also captures busy real users and popular products."
+    )
+
+
+if __name__ == "__main__":
+    main()

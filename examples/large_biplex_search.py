@@ -1,0 +1,87 @@
+"""Large maximal k-biplex search with size thresholds and core preprocessing (Section 5).
+
+Run with ``python examples/large_biplex_search.py``.
+
+The script plants two dense user-item communities inside a sparse background
+graph and recovers them by enumerating only the *large* maximal 1-biplexes
+(both sides of size at least θ), demonstrating:
+
+* the ``(θ − k, θ − k)``-core preprocessing that shrinks the graph first,
+* the size-threshold pruning rules inside the traversal, and
+* how much work is saved compared to enumerating everything and filtering.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import ITraversal
+from repro.core import LargeMBPEnumerator, filter_large
+from repro.graph import planted_biplex_graph_with_blocks
+
+
+def main() -> None:
+    theta, k = 6, 1
+    graph, blocks = planted_biplex_graph_with_blocks(
+        n_left=40,
+        n_right=40,
+        block_left=8,
+        block_right=8,
+        k=k,
+        background_edges=70,
+        num_blocks=2,
+        seed=21,
+    )
+    print(
+        f"Planted-community graph: {graph.n_left} x {graph.n_right}, {graph.num_edges} edges; "
+        f"two hidden 8x8 near-biplex blocks"
+    )
+
+    # Direct large-MBP enumeration (with core preprocessing).
+    enumerator = LargeMBPEnumerator(graph, k, theta=theta, use_core_preprocessing=True)
+    start = time.perf_counter()
+    large = enumerator.enumerate()
+    direct_seconds = time.perf_counter() - start
+    core = enumerator.core_graph
+    print(
+        f"\n(θ−k)-core preprocessing: {graph.num_vertices} -> {core.num_vertices} vertices, "
+        f"{graph.num_edges} -> {core.num_edges} edges"
+    )
+    print(f"Large MBPs (both sides >= {theta}): {len(large)} found in {direct_seconds:.3f}s")
+    for solution in sorted(large, key=lambda s: -s.size)[:5]:
+        print(f"  |L|={len(solution.left):2d} |R|={len(solution.right):2d}  "
+              f"L={sorted(solution.left)}  R={sorted(solution.right)}")
+
+    # Recovered communities vs the planted ground truth.
+    for index, (left_block, right_block) in enumerate(blocks):
+        hits = sum(
+            1
+            for solution in large
+            if len(solution.left & frozenset(left_block)) >= theta - k
+            and len(solution.right & frozenset(right_block)) >= theta - k
+        )
+        print(f"Planted block {index}: covered by {hits} large MBP(s)")
+
+    # Contrast with enumerate-everything-then-filter (what bTraversal must do).
+    start = time.perf_counter()
+    full_enumeration = ITraversal(graph, k, time_limit=60)
+    everything = full_enumeration.enumerate()
+    filtered = filter_large(everything, theta, theta)
+    naive_seconds = time.perf_counter() - start
+    print(
+        f"\nEnumerate-then-filter: {len(everything)} MBPs enumerated, {len(filtered)} large, "
+        f"{naive_seconds:.3f}s ({naive_seconds / max(direct_seconds, 1e-9):.1f}x slower)"
+    )
+    if full_enumeration.stats.truncated:
+        print("(the full enumeration hit its time limit, so the comparison is a lower bound)")
+    else:
+        assert set(filtered) == set(large)
+        print("Both approaches report exactly the same large MBPs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Analysis layer: dataset registry, structure metrics, fraud-detection case study."""
+
+from .datasets import (
+    ALL_DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    dataset_specs,
+    get_spec,
+    load_dataset,
+    table1_rows,
+)
+from .fraud import (
+    FraudStudyConfig,
+    FraudStudyReport,
+    StructureResult,
+    build_study_graph,
+    run_fraud_detection_study,
+)
+from .metrics import (
+    ClassificationMetrics,
+    average_density,
+    classification_metrics,
+    covered_vertices,
+    subgraph_density,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "SMALL_DATASETS",
+    "DatasetSpec",
+    "dataset_specs",
+    "get_spec",
+    "load_dataset",
+    "table1_rows",
+    "FraudStudyConfig",
+    "FraudStudyReport",
+    "StructureResult",
+    "build_study_graph",
+    "run_fraud_detection_study",
+    "ClassificationMetrics",
+    "classification_metrics",
+    "average_density",
+    "subgraph_density",
+    "covered_vertices",
+]

@@ -1,0 +1,86 @@
+"""Structure and classification metrics used by the case study and the docs.
+
+The fraud-detection case study (Section 6.3) classifies vertices as fake or
+real depending on whether they appear in any found cohesive subgraph, and
+reports precision, recall and F1.  The cohesiveness metrics mirror the
+paper's qualitative discussion (a k-biplex with small k is dense; an
+(α, β)-core can be large and sparse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple
+
+from ..core.biplex import Biplex, biplex_edge_count
+from ..graph.bipartite import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """Precision / recall / F1 of a binary classification."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted positives that are real positives (NaN-free: 0 when undefined)."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else float("nan")
+
+    @property
+    def recall(self) -> float:
+        """Fraction of real positives that were predicted."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else float("nan")
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (NaN when precision is undefined)."""
+        precision = self.precision
+        recall = self.recall
+        if precision != precision or recall != recall:  # NaN check
+            return float("nan")
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    @property
+    def defined(self) -> bool:
+        """False when no positives were predicted at all (the paper's "ND" cells)."""
+        return (self.true_positives + self.false_positives) > 0
+
+
+def classification_metrics(predicted: Set, actual: Set) -> ClassificationMetrics:
+    """Compute precision/recall inputs for predicted vs. ground-truth item sets."""
+    true_positives = len(predicted & actual)
+    false_positives = len(predicted - actual)
+    false_negatives = len(actual - predicted)
+    return ClassificationMetrics(true_positives, false_positives, false_negatives)
+
+
+def subgraph_density(graph: BipartiteGraph, biplex: Biplex) -> float:
+    """Edge density of the induced subgraph: edges / possible edges."""
+    possible = len(biplex.left) * len(biplex.right)
+    if possible == 0:
+        return 0.0
+    return biplex_edge_count(graph, biplex) / possible
+
+
+def average_density(graph: BipartiteGraph, biplexes: Sequence[Biplex]) -> float:
+    """Mean edge density over a collection of subgraphs (0 for an empty collection)."""
+    if not biplexes:
+        return 0.0
+    return sum(subgraph_density(graph, b) for b in biplexes) / len(biplexes)
+
+
+def covered_vertices(biplexes: Iterable[Biplex]) -> Tuple[Set[int], Set[int]]:
+    """Union of left and right vertex sets over a collection of subgraphs."""
+    left: Set[int] = set()
+    right: Set[int] = set()
+    for biplex in biplexes:
+        left |= biplex.left
+        right |= biplex.right
+    return left, right

@@ -1,0 +1,36 @@
+"""Benchmark harness: timing utilities, per-figure experiment drivers, reporting."""
+
+from .experiments import EXPERIMENTS
+from .harness import (
+    ALGORITHM_RUNNERS,
+    Measurement,
+    bench_scale,
+    run_algorithms,
+    run_btraversal,
+    run_imb,
+    run_inflation,
+    run_itraversal,
+    scaled,
+    time_call,
+)
+from .reporting import INF, OUT, format_seconds, format_table, pivot, print_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ALGORITHM_RUNNERS",
+    "Measurement",
+    "bench_scale",
+    "scaled",
+    "time_call",
+    "run_algorithms",
+    "run_itraversal",
+    "run_btraversal",
+    "run_imb",
+    "run_inflation",
+    "INF",
+    "OUT",
+    "format_seconds",
+    "format_table",
+    "print_table",
+    "pivot",
+]

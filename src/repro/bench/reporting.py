@@ -1,0 +1,94 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness reproduces the paper's tables and figure series as
+aligned text tables, one row per x-axis value and one column per algorithm,
+with the paper's ``INF`` (time limit exceeded) and ``OUT`` (memory budget
+exceeded) markers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+INF = "INF"
+OUT = "OUT"
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Format a running time, or pass through the INF/OUT markers."""
+    if value is None:
+        return INF
+    if isinstance(value, str):
+        return value
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_value(value: object) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "ND"
+    if isinstance(value, float):
+        return format_seconds(value)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns=columns, title=title))
+
+
+def pivot(
+    rows: Iterable[Dict[str, object]],
+    index: str,
+    column: str,
+    value: str,
+) -> List[Dict[str, object]]:
+    """Pivot long-format rows (one measurement per row) into wide-format rows.
+
+    E.g. pivot(rows, index="dataset", column="algorithm", value="seconds")
+    produces one row per dataset with one column per algorithm — the layout
+    of the paper's figures.
+    """
+    ordered_index: List[object] = []
+    table: Dict[object, Dict[str, object]] = {}
+    for row in rows:
+        key = row[index]
+        if key not in table:
+            table[key] = {index: key}
+            ordered_index.append(key)
+        table[key][str(row[column])] = row[value]
+    return [table[key] for key in ordered_index]

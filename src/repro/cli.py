@@ -1,0 +1,121 @@
+"""Command-line interface.
+
+Three subcommands cover the library's day-to-day uses:
+
+* ``repro-mbp enumerate``  — enumerate maximal k-biplexes of an edge-list
+  file (or a registry dataset) and print or save them;
+* ``repro-mbp experiment`` — run one of the per-figure experiment drivers
+  and print the paper-style table;
+* ``repro-mbp datasets``   — list the dataset registry (the Table 1 stand-ins).
+
+Run ``repro-mbp <subcommand> --help`` for the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.datasets import ALL_DATASETS, load_dataset, table1_rows
+from .bench.experiments import EXPERIMENTS
+from .bench.reporting import format_table
+from .core.itraversal import ITraversal
+from .core.verify import summarize_solutions
+from .graph.io import read_edge_list
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mbp",
+        description="Maximal k-biplex enumeration (SIGMOD 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    enumerate_parser = subparsers.add_parser(
+        "enumerate", help="enumerate maximal k-biplexes of a graph"
+    )
+    source = enumerate_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="edge-list file (see repro.graph.io)")
+    source.add_argument("--dataset", choices=ALL_DATASETS, help="registry dataset name")
+    enumerate_parser.add_argument("-k", type=int, default=1, help="biplex parameter (default 1)")
+    enumerate_parser.add_argument(
+        "--variant",
+        default="full",
+        choices=("full", "no-exclusion", "left-anchored-only"),
+        help="iTraversal variant",
+    )
+    enumerate_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
+    enumerate_parser.add_argument("--max-results", type=int, default=None)
+    enumerate_parser.add_argument("--time-limit", type=float, default=None, help="seconds")
+    enumerate_parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary, not the biplexes"
+    )
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+
+    subparsers.add_parser("datasets", help="list the dataset registry (Table 1 stand-ins)")
+    return parser
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+    else:
+        graph = read_edge_list(args.input)
+    algorithm = ITraversal(
+        graph,
+        args.k,
+        variant=args.variant,
+        theta_left=args.theta,
+        theta_right=args.theta,
+        max_results=args.max_results,
+        time_limit=args.time_limit,
+    )
+    solutions = algorithm.enumerate()
+    if not args.quiet:
+        for solution in solutions:
+            left = ",".join(str(v) for v in sorted(solution.left))
+            right = ",".join(str(u) for u in sorted(solution.right))
+            print(f"L: [{left}]  R: [{right}]")
+    summary = summarize_solutions(solutions)
+    stats = algorithm.stats
+    print(
+        f"# solutions={summary['count']} max_left={summary['max_left']} "
+        f"max_right={summary['max_right']} links={stats.num_links} "
+        f"elapsed={stats.elapsed_seconds:.3f}s truncated={stats.truncated}"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.name]
+    rows = driver()
+    print(format_table(rows, title=f"Experiment {args.name}"))
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    print(format_table(table1_rows(), title="Dataset registry (Table 1 stand-ins)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``repro-mbp`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "enumerate":
+        return _command_enumerate(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

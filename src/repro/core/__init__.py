@@ -1,0 +1,74 @@
+"""Core algorithms: k-biplex primitives, EnumAlmostSat, bTraversal, iTraversal."""
+
+from .biplex import (
+    Biplex,
+    arbitrary_initial_solution,
+    can_add_left,
+    can_add_right,
+    extend_to_maximal,
+    initial_solution_left_anchored,
+    initial_solution_right_anchored,
+    is_k_biplex,
+    is_maximal_k_biplex,
+)
+from .btraversal import BTraversal, btraversal_config, enumerate_mbps_btraversal
+from .delay import DelayInstrumentedIterator, DelayRecord, measure_delay
+from .enum_almost_sat import (
+    EnumAlmostSatConfig,
+    enum_local_solutions,
+    enum_local_solutions_inflation,
+    enum_local_solutions_naive,
+)
+from .itraversal import ITraversal, enumerate_large_mbps, enumerate_mbps, itraversal_config
+from .large import LargeMBPEnumerator, filter_large
+from .solution_graph import SolutionGraph, build_solution_graph, count_links
+from .traversal import ReverseSearchEngine, TraversalConfig, TraversalStats, run_with_stats
+from .verify import (
+    canonical,
+    check_all_solutions,
+    check_solution,
+    missing_and_extra,
+    same_solutions,
+    summarize_solutions,
+)
+
+__all__ = [
+    "Biplex",
+    "is_k_biplex",
+    "is_maximal_k_biplex",
+    "can_add_left",
+    "can_add_right",
+    "extend_to_maximal",
+    "initial_solution_left_anchored",
+    "initial_solution_right_anchored",
+    "arbitrary_initial_solution",
+    "EnumAlmostSatConfig",
+    "enum_local_solutions",
+    "enum_local_solutions_naive",
+    "enum_local_solutions_inflation",
+    "BTraversal",
+    "btraversal_config",
+    "enumerate_mbps_btraversal",
+    "ITraversal",
+    "itraversal_config",
+    "enumerate_mbps",
+    "enumerate_large_mbps",
+    "LargeMBPEnumerator",
+    "filter_large",
+    "ReverseSearchEngine",
+    "TraversalConfig",
+    "TraversalStats",
+    "run_with_stats",
+    "SolutionGraph",
+    "build_solution_graph",
+    "count_links",
+    "DelayRecord",
+    "DelayInstrumentedIterator",
+    "measure_delay",
+    "check_solution",
+    "check_all_solutions",
+    "canonical",
+    "same_solutions",
+    "missing_and_extra",
+    "summarize_solutions",
+]

@@ -1,0 +1,97 @@
+"""Delay measurement for enumeration algorithms.
+
+The *delay* of an enumeration algorithm is the maximum of (1) the time before
+the first solution is output, (2) the time between two consecutive outputs
+and (3) the time between the last output and termination (Section 3.5).
+iTraversal guarantees a polynomial delay (with the alternating-output trick);
+iMB and the inflation baseline do not.  The helpers below wrap any solution
+iterator and record the empirical delays so the Figure 8 experiment can be
+reproduced for every algorithm uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class DelayRecord:
+    """Empirical delay profile of one enumeration run."""
+
+    delays: List[float] = field(default_factory=list)
+    total_time: float = 0.0
+    num_solutions: int = 0
+
+    @property
+    def max_delay(self) -> float:
+        """The delay as defined in the paper (maximum over all gaps)."""
+        return max(self.delays) if self.delays else self.total_time
+
+    @property
+    def mean_delay(self) -> float:
+        """Average gap between consecutive outputs."""
+        return sum(self.delays) / len(self.delays) if self.delays else self.total_time
+
+
+def measure_delay(iterator_factory: Callable[[], Iterable[T]]) -> Tuple[List[T], DelayRecord]:
+    """Consume the iterable produced by ``iterator_factory`` and record delays.
+
+    The factory is called once; timing starts immediately before the call so
+    that any setup cost counts towards the first delay, exactly as the
+    paper's definition requires.
+    """
+    record = DelayRecord()
+    results: List[T] = []
+    start = time.perf_counter()
+    previous = start
+    iterator = iter(iterator_factory())
+    while True:
+        try:
+            item = next(iterator)
+        except StopIteration:
+            break
+        now = time.perf_counter()
+        record.delays.append(now - previous)
+        previous = now
+        results.append(item)
+    end = time.perf_counter()
+    # The trailing gap (after the last solution until termination).
+    record.delays.append(end - previous)
+    record.total_time = end - start
+    record.num_solutions = len(results)
+    return results, record
+
+
+class DelayInstrumentedIterator(Iterator[T]):
+    """An iterator wrapper that records inter-output delays as it is consumed.
+
+    Useful when the caller wants to keep streaming semantics (e.g. stop after
+    the first N solutions) while still collecting delay statistics.
+    """
+
+    def __init__(self, inner: Iterable[T]) -> None:
+        self._inner = iter(inner)
+        self._start = time.perf_counter()
+        self._previous = self._start
+        self.record = DelayRecord()
+
+    def __iter__(self) -> "DelayInstrumentedIterator[T]":
+        return self
+
+    def __next__(self) -> T:
+        try:
+            item = next(self._inner)
+        except StopIteration:
+            now = time.perf_counter()
+            self.record.delays.append(now - self._previous)
+            self.record.total_time = now - self._start
+            raise
+        now = time.perf_counter()
+        self.record.delays.append(now - self._previous)
+        self._previous = now
+        self.record.num_solutions += 1
+        return item

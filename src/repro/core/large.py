@@ -1,0 +1,126 @@
+"""Large maximal k-biplex enumeration (Section 5 of the paper).
+
+A *large MBP* is a maximal k-biplex whose two sides both contain at least
+``θ`` vertices.  The iTraversal framework supports enumerating them without
+enumerating all MBPs first, thanks to the right-shrinking traversal:
+
+* *almost-satisfying graph pruning* — skip a candidate vertex ``v`` when
+  ``δ(v, R) + k < θ``,
+* *local solution pruning* — skip local solutions with ``|R'| < θ``,
+* *solution pruning* — do not recurse from solutions with ``|R| < θ``,
+* *left-side pruning* — do not recurse when ``|L| − |ℰ(H)| < θ``.
+
+All four rules live inside the traversal engine
+(:mod:`repro.core.traversal`); this module adds the ``(θ − k, θ − k)``-core
+preprocessing used in the paper's Figure 10 experiment and translates the
+core's compacted vertex ids back to the original graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..graph.bipartite import BipartiteGraph
+from ..graph.cores import theta_core_for_large_mbps
+from .biplex import Biplex
+from .enum_almost_sat import DEFAULT_CONFIG, EnumAlmostSatConfig
+from .itraversal import ITraversal
+from .traversal import TraversalStats
+
+
+class LargeMBPEnumerator:
+    """Enumerate maximal k-biplexes with both sides of size at least ``theta``.
+
+    Parameters
+    ----------
+    graph:
+        Input bipartite graph.
+    k:
+        Biplex parameter.
+    theta:
+        Size threshold applied to both sides.  Use ``theta_left`` /
+        ``theta_right`` for asymmetric thresholds.
+    use_core_preprocessing:
+        Shrink the graph to its ``(θ − k, θ − k)``-core before enumerating
+        (always safe; usually much faster).
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        k: int,
+        theta: int = 0,
+        theta_left: Optional[int] = None,
+        theta_right: Optional[int] = None,
+        use_core_preprocessing: bool = True,
+        enum_config: EnumAlmostSatConfig = DEFAULT_CONFIG,
+        max_results: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self.theta_left = theta if theta_left is None else theta_left
+        self.theta_right = theta if theta_right is None else theta_right
+        self.use_core_preprocessing = use_core_preprocessing
+
+        if use_core_preprocessing and (self.theta_left or self.theta_right):
+            core_bound = min(
+                value for value in (self.theta_left, self.theta_right) if value
+            )
+            working, left_map, right_map = theta_core_for_large_mbps(graph, k, core_bound)
+        else:
+            working, left_map, right_map = (
+                graph,
+                list(graph.left_vertices()),
+                list(graph.right_vertices()),
+            )
+        self._working = working
+        self._left_map = left_map
+        self._right_map = right_map
+        self._algorithm = ITraversal(
+            working,
+            k,
+            variant="full",
+            enum_config=enum_config,
+            theta_left=self.theta_left,
+            theta_right=self.theta_right,
+            max_results=max_results,
+            time_limit=time_limit,
+        )
+
+    @property
+    def core_graph(self) -> BipartiteGraph:
+        """The (possibly shrunk) graph the enumeration actually runs on."""
+        return self._working
+
+    @property
+    def stats(self) -> TraversalStats:
+        """Counters of the last run."""
+        return self._algorithm.stats
+
+    def run(self) -> Iterator[Biplex]:
+        """Lazily yield large MBPs in the original graph's vertex ids."""
+        for solution in self._algorithm.run():
+            yield self._translate(solution)
+
+    def enumerate(self) -> List[Biplex]:
+        """Enumerate all large MBPs."""
+        return list(self.run())
+
+    def _translate(self, solution: Biplex) -> Biplex:
+        left = frozenset(self._left_map[v] for v in solution.left)
+        right = frozenset(self._right_map[u] for u in solution.right)
+        return Biplex(left=left, right=right)
+
+
+def filter_large(solutions: List[Biplex], theta_left: int, theta_right: int) -> List[Biplex]:
+    """Post-filter a solution list by side sizes.
+
+    This is what bTraversal has to do (enumerate everything, then filter);
+    it exists so benchmarks can contrast the two approaches.
+    """
+    return [
+        solution
+        for solution in solutions
+        if len(solution.left) >= theta_left and len(solution.right) >= theta_right
+    ]

@@ -1,0 +1,427 @@
+"""The reverse-search traversal engine shared by bTraversal and iTraversal.
+
+Both algorithms are depth-first searches over an implicit *solution graph*
+whose nodes are maximal k-biplexes (solutions) and whose links encode "the
+ThreeStep procedure can find solution ``H'`` from solution ``H``"
+(Section 3.1).  The engine below implements the DFS with an explicit stack
+(the recursion depth equals the number of solutions, which easily exceeds
+CPython's recursion limit) and exposes every design knob of the paper as a
+configuration flag so that all algorithm variants of the evaluation —
+bTraversal, iTraversal, iTraversal-ES, iTraversal-ES-RS, left- vs
+right-anchored, large-MBP pruning — are instances of the same code path.
+
+The per-run counters gathered in :class:`TraversalStats` are exactly the
+quantities the evaluation section reports: number of solutions, number of
+solution-graph links generated, number of EnumAlmostSat calls, wall-clock
+time and whether a limit was hit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..graph.bipartite import BipartiteGraph, MirrorView
+from .biplex import (
+    Biplex,
+    arbitrary_initial_solution,
+    extend_to_maximal,
+    initial_solution_left_anchored,
+)
+from .enum_almost_sat import DEFAULT_CONFIG, EnumAlmostSatConfig, enum_local_solutions
+
+
+@dataclass
+class TraversalConfig:
+    """Configuration of the reverse-search traversal.
+
+    The defaults correspond to the full iTraversal algorithm (Algorithm 2
+    plus the exclusion strategy).  Setting ``left_anchored``,
+    ``right_shrinking`` and ``exclusion`` all to ``False`` and
+    ``initial_solution`` to ``"arbitrary"`` yields bTraversal.
+
+    Attributes
+    ----------
+    left_anchored:
+        Only form almost-satisfying graphs with left-side vertices
+        (Section 3.3).  When ``False`` both sides are candidates.
+    right_shrinking:
+        Prune local solutions that can be extended with a right vertex of
+        ``G`` (Section 3.4) and extend local solutions with left-side
+        vertices only.
+    exclusion:
+        Maintain per-solution exclusion sets and prune links towards
+        solutions containing excluded vertices (Section 3.5).
+    enum_config:
+        Refinement levels used inside EnumAlmostSat.
+    initial_solution:
+        ``"anchored"`` for the designated ``(L0, R)`` seed of iTraversal or
+        ``"arbitrary"`` for bTraversal's arbitrary maximal k-biplex.
+    theta_left, theta_right:
+        Large-MBP thresholds (Section 5); 0 disables size filtering.
+    max_results:
+        Stop after yielding this many solutions (``None`` = unlimited).
+    time_limit:
+        Wall-clock budget in seconds (``None`` = unlimited).
+    output_order:
+        ``"pre"`` yields a solution as soon as it is discovered;
+        ``"alternate"`` applies the alternating-output trick of Uno (2003)
+        that turns the total-time bound into a polynomial *delay* bound.
+    """
+
+    left_anchored: bool = True
+    right_shrinking: bool = True
+    exclusion: bool = True
+    enum_config: EnumAlmostSatConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    initial_solution: str = "anchored"
+    theta_left: int = 0
+    theta_right: int = 0
+    max_results: Optional[int] = None
+    time_limit: Optional[float] = None
+    output_order: str = "pre"
+    local_enumeration: str = "refined"
+    """How EnumAlmostSat is implemented: ``"refined"`` uses the Section 4
+    algorithm (levels set by ``enum_config``); ``"inflation"`` inflates each
+    almost-satisfying graph and enumerates local maximal (k+1)-plexes, which
+    is how the paper's bTraversal baseline is implemented in Figure 7."""
+
+    def __post_init__(self) -> None:
+        if self.initial_solution not in ("anchored", "arbitrary"):
+            raise ValueError("initial_solution must be 'anchored' or 'arbitrary'")
+        if self.output_order not in ("pre", "alternate"):
+            raise ValueError("output_order must be 'pre' or 'alternate'")
+        if self.theta_left < 0 or self.theta_right < 0:
+            raise ValueError("size thresholds must be non-negative")
+        if self.local_enumeration not in ("refined", "inflation"):
+            raise ValueError("local_enumeration must be 'refined' or 'inflation'")
+
+
+@dataclass
+class TraversalStats:
+    """Counters collected during a traversal run."""
+
+    num_solutions: int = 0
+    num_reported: int = 0
+    num_links: int = 0
+    num_almost_sat_graphs: int = 0
+    num_local_solutions: int = 0
+    elapsed_seconds: float = 0.0
+    hit_result_limit: bool = False
+    hit_time_limit: bool = False
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the run stopped before exhausting the solution space."""
+        return self.hit_result_limit or self.hit_time_limit
+
+
+class _LimitReached(Exception):
+    """Internal control-flow signal for result/time limits."""
+
+
+class ReverseSearchEngine:
+    """DFS over the implicit solution graph, parameterised by :class:`TraversalConfig`."""
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        k: int,
+        config: Optional[TraversalConfig] = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be a positive integer")
+        self.graph = graph
+        self.k = k
+        self.config = config or TraversalConfig()
+        self.stats = TraversalStats()
+        self._visited: Set[Biplex] = set()
+        self._start_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> Iterator[Biplex]:
+        """Enumerate maximal k-biplexes according to the configuration.
+
+        Solutions are yielded lazily; iteration can be stopped early by the
+        caller (e.g. "first 1000 MBPs" experiments) without paying for the
+        full enumeration.
+        """
+        self._start_time = time.perf_counter()
+        self.stats = TraversalStats()
+        self._visited = set()
+        initial = self._initial_solution()
+        self._visited.add(initial)
+        self.stats.num_solutions += 1
+        try:
+            yield from self._dfs(initial)
+        except _LimitReached:
+            pass
+        self.stats.elapsed_seconds = time.perf_counter() - self._start_time
+
+    def enumerate(self) -> List[Biplex]:
+        """Run the traversal to completion and return all solutions as a list."""
+        return list(self.run())
+
+    # ------------------------------------------------------------------ #
+    # DFS driver
+    # ------------------------------------------------------------------ #
+    def _dfs(self, initial: Biplex) -> Iterator[Biplex]:
+        """Iterative DFS with optional alternating output order."""
+        alternate = self.config.output_order == "alternate"
+        # Each frame: (solution, children iterator, already_output flag, depth)
+        root_children = self._children(initial, frozenset())
+        stack: List[List] = [[initial, root_children, False, 0]]
+        if not alternate or self._output_now(0):
+            yield from self._report(initial)
+            stack[-1][2] = True
+        while stack:
+            frame = stack[-1]
+            solution, children, already_output, depth = frame
+            child = next(children, None)
+            if child is None:
+                if not already_output:
+                    yield from self._report(solution)
+                    frame[2] = True
+                stack.pop()
+                continue
+            child_solution, child_exclusion = child
+            child_depth = depth + 1
+            child_frame = [
+                child_solution,
+                self._children(child_solution, child_exclusion),
+                False,
+                child_depth,
+            ]
+            if not alternate or self._output_now(child_depth):
+                yield from self._report(child_solution)
+                child_frame[2] = True
+            stack.append(child_frame)
+
+    @staticmethod
+    def _output_now(depth: int) -> bool:
+        """Uno's alternating trick: output before recursion on even depths."""
+        return depth % 2 == 0
+
+    def _report(self, solution: Biplex) -> Iterator[Biplex]:
+        """Yield ``solution`` if it passes the size filters; enforce limits."""
+        self._check_time()
+        if self._passes_size_filter(solution):
+            self.stats.num_reported += 1
+            yield solution
+            if (
+                self.config.max_results is not None
+                and self.stats.num_reported >= self.config.max_results
+            ):
+                self.stats.hit_result_limit = True
+                raise _LimitReached
+        return
+
+    def _passes_size_filter(self, solution: Biplex) -> bool:
+        return (
+            len(solution.left) >= self.config.theta_left
+            and len(solution.right) >= self.config.theta_right
+        )
+
+    def _check_time(self) -> None:
+        if self.config.time_limit is None:
+            return
+        if time.perf_counter() - self._start_time > self.config.time_limit:
+            self.stats.hit_time_limit = True
+            raise _LimitReached
+
+    # ------------------------------------------------------------------ #
+    # ThreeStep / iThreeStep
+    # ------------------------------------------------------------------ #
+    def _initial_solution(self) -> Biplex:
+        if self.config.initial_solution == "anchored":
+            return initial_solution_left_anchored(self.graph, self.k)
+        return arbitrary_initial_solution(self.graph, self.k)
+
+    def _children(
+        self, solution: Biplex, exclusion: frozenset
+    ) -> Iterator[Tuple[Biplex, frozenset]]:
+        """Generate the unvisited solutions reachable from ``solution``.
+
+        This is the ThreeStep (bTraversal) / iThreeStep (iTraversal)
+        procedure.  Each yielded pair carries the exclusion set the child
+        should be explored with.
+        """
+        config = self.config
+        left = set(solution.left)
+        right = set(solution.right)
+
+        # Section 5, solution pruning: all solutions reachable from here have
+        # a right side contained in ours (right-shrinking), so stop early.
+        if (
+            config.theta_right
+            and config.right_shrinking
+            and len(right) < config.theta_right
+        ):
+            return
+        # Section 5, left-side pruning via the exclusion set.
+        if (
+            config.theta_left
+            and config.exclusion
+            and self.graph.n_left - len(exclusion) < config.theta_left
+        ):
+            return
+
+        # δ̄(u, L) for every u ∈ R depends only on the solution, not on the
+        # candidate vertex; computing it once here saves a factor |L| inside
+        # EnumAlmostSat (see enum_local_solutions' solution_right_missing).
+        right_missing = {u: len(left - self.graph.neighbors_of_right(u)) for u in right}
+
+        processed: List[int] = []
+        for side, vertex in self._candidate_vertices(solution):
+            self._check_time()
+            if side == "L" and config.exclusion and vertex in exclusion:
+                continue
+            # Section 5, almost-satisfying-graph pruning.
+            if (
+                config.theta_right
+                and side == "L"
+                and len(self.graph.gamma_left(vertex, right)) + self.k < config.theta_right
+            ):
+                if config.exclusion:
+                    processed.append(vertex)
+                continue
+            self.stats.num_almost_sat_graphs += 1
+            child_exclusion = (
+                frozenset(exclusion | set(processed)) if config.exclusion else frozenset()
+            )
+            for local in self._local_solutions(solution, side, vertex, right_missing):
+                self.stats.num_local_solutions += 1
+                # The local solution's vertices are a subset of the extended
+                # child's, so an exclusion hit here already rules the child
+                # out — checking before the (expensive) extension step.
+                if config.exclusion and side == "L" and (local.left & exclusion):
+                    continue
+                if config.right_shrinking and side == "L" and self._right_extensible(local):
+                    continue
+                child = self._extend(local, side)
+                if config.exclusion and side == "L" and (child.left & exclusion):
+                    continue
+                # Links pruned by the exclusion strategy are not part of the
+                # algorithm's solution graph, hence counted only here.
+                self.stats.num_links += 1
+                if child in self._visited:
+                    continue
+                self._visited.add(child)
+                self.stats.num_solutions += 1
+                yield child, child_exclusion
+            if side == "L" and config.exclusion:
+                processed.append(vertex)
+
+    def _candidate_vertices(self, solution: Biplex) -> Iterator[Tuple[str, int]]:
+        """Step 1 candidates: vertices outside the solution, per configuration."""
+        for v in self.graph.left_vertices():
+            if v not in solution.left:
+                yield ("L", v)
+        if not self.config.left_anchored:
+            for u in self.graph.right_vertices():
+                if u not in solution.right:
+                    yield ("R", u)
+
+    def _local_solutions(
+        self, solution: Biplex, side: str, vertex: int, right_missing=None
+    ) -> Iterator[Biplex]:
+        """Step 2: EnumAlmostSat on the almost-satisfying graph ``G[H ∪ {vertex}]``."""
+        min_right = (
+            self.config.theta_right
+            if (self.config.theta_right and self.config.right_shrinking and side == "L")
+            else 0
+        )
+        use_inflation = self.config.local_enumeration == "inflation"
+        if side == "L":
+            if use_inflation:
+                from .enum_almost_sat import enum_local_solutions_inflation
+
+                yield from enum_local_solutions_inflation(
+                    self.graph, set(solution.left), set(solution.right), vertex, self.k
+                )
+                return
+            yield from enum_local_solutions(
+                self.graph,
+                set(solution.left),
+                set(solution.right),
+                vertex,
+                self.k,
+                config=self.config.enum_config,
+                min_right_size=min_right,
+                solution_right_missing=right_missing,
+            )
+            return
+        # Right-side candidate (bTraversal only): run the same procedure on
+        # the mirrored view and swap the result back.
+        mirror = MirrorView(self.graph)
+        if use_inflation:
+            from .enum_almost_sat import enum_local_solutions_inflation
+
+            mirrored_locals = enum_local_solutions_inflation(
+                mirror, set(solution.right), set(solution.left), vertex, self.k
+            )
+        else:
+            mirrored_locals = enum_local_solutions(
+                mirror,
+                set(solution.right),
+                set(solution.left),
+                vertex,
+                self.k,
+                config=self.config.enum_config,
+            )
+        for mirrored in mirrored_locals:
+            yield Biplex(left=mirrored.right, right=mirrored.left)
+
+    def _extend(self, local: Biplex, side: str) -> Biplex:
+        """Step 3: extend a local solution to a maximal k-biplex of ``G``."""
+        if self.config.right_shrinking and side == "L":
+            # iTraversal extends with left-side vertices only (Line 8).
+            return extend_to_maximal(
+                self.graph,
+                local.left,
+                local.right,
+                self.k,
+                candidate_right=(),
+            )
+        return extend_to_maximal(self.graph, local.left, local.right, self.k)
+
+    def _right_extensible(self, local: Biplex) -> bool:
+        """Right-shrinking test (Line 7): can any right vertex of G be added?
+
+        Candidate right vertices must be adjacent to at least ``|L| - k``
+        left vertices of the local solution, so when ``|L| > k`` they are
+        found by counting adjacencies from the local solution's left side
+        (proportional to its incident edges) rather than scanning all of R.
+        """
+        from .biplex import can_add_right
+
+        left = set(local.left)
+        right = set(local.right)
+        if len(left) > self.k:
+            counts: dict = {}
+            for v in left:
+                for u in self.graph.neighbors_of_left(v):
+                    counts[u] = counts.get(u, 0) + 1
+            threshold = len(left) - self.k
+            candidates = (
+                u for u, count in counts.items() if count >= threshold and u not in right
+            )
+        else:
+            candidates = (u for u in self.graph.right_vertices() if u not in right)
+        for u in candidates:
+            if can_add_right(self.graph, left, right, u, self.k):
+                return True
+        return False
+
+
+def run_with_stats(
+    graph: BipartiteGraph,
+    k: int,
+    config: Optional[TraversalConfig] = None,
+) -> Tuple[List[Biplex], TraversalStats]:
+    """Convenience helper: run an engine to completion and return solutions + stats."""
+    engine = ReverseSearchEngine(graph, k, config)
+    solutions = engine.enumerate()
+    return solutions, engine.stats

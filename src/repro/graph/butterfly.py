@@ -1,0 +1,134 @@
+"""Butterfly counting and k-bitruss decomposition.
+
+A *butterfly* is a complete 2 × 2 biclique.  The *k-bitruss* of a bipartite
+graph is the maximal subgraph in which every edge participates in at least
+``k`` butterflies.  The paper discusses k-bitruss as one of the alternative
+cohesive-structure definitions (Sections 1 and 7); it imposes no
+disconnection constraint, which is why k-biplexes are preferred for the
+fraud-detection task.  We provide both primitives so the case study and the
+documentation can compare against them.
+
+The butterfly counting routine follows the vertex-priority idea of Wang et
+al. (VLDB 2019) in spirit: wedges are accumulated from the lower-degree side
+to keep the work proportional to the wedge count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from .bipartite import BipartiteGraph
+
+
+def count_butterflies(graph: BipartiteGraph) -> int:
+    """Total number of butterflies (2 × 2 bicliques) in ``graph``.
+
+    Counting is done by enumerating wedges centred on the side with the
+    smaller total wedge count: for every pair of same-side vertices the
+    number of common neighbours ``c`` contributes ``c * (c - 1) / 2``
+    butterflies; summing over pairs via per-pair wedge counts avoids
+    materialising the pairs explicitly.
+    """
+    left_wedges = sum(
+        d * (d - 1) // 2 for d in (graph.degree_of_right(u) for u in graph.right_vertices())
+    )
+    right_wedges = sum(
+        d * (d - 1) // 2 for d in (graph.degree_of_left(v) for v in graph.left_vertices())
+    )
+    # Choose to pivot on the side whose opposite-side wedge count is smaller.
+    if left_wedges <= right_wedges:
+        return _count_from_side(graph, from_left=False)
+    return _count_from_side(graph, from_left=True)
+
+
+def _count_from_side(graph: BipartiteGraph, from_left: bool) -> int:
+    """Count butterflies by accumulating co-neighbour pair counts."""
+    total = 0
+    if from_left:
+        anchors = graph.left_vertices()
+        neighbors = graph.neighbors_of_left
+    else:
+        anchors = graph.right_vertices()
+        neighbors = graph.neighbors_of_right
+    for anchor in anchors:
+        pair_counts: Dict[int, int] = defaultdict(int)
+        anchor_neighbors = neighbors(anchor)
+        for middle in anchor_neighbors:
+            if from_left:
+                fan = graph.neighbors_of_right(middle)
+            else:
+                fan = graph.neighbors_of_left(middle)
+            for other in fan:
+                if other > anchor:
+                    pair_counts[other] += 1
+        for count in pair_counts.values():
+            total += count * (count - 1) // 2
+    return total
+
+
+def edge_butterfly_counts(graph: BipartiteGraph) -> Dict[Tuple[int, int], int]:
+    """Number of butterflies containing each edge ``(left, right)``.
+
+    The butterfly support of edge ``(v, u)`` equals the number of pairs
+    ``(v', u')`` with ``v' ≠ v``, ``u' ≠ u`` such that all four edges exist.
+    """
+    support: Dict[Tuple[int, int], int] = {edge: 0 for edge in graph.edges()}
+    for v, u in list(support.keys()):
+        count = 0
+        for u_prime in graph.neighbors_of_left(v):
+            if u_prime == u:
+                continue
+            for v_prime in graph.neighbors_of_right(u):
+                if v_prime == v:
+                    continue
+                if graph.has_edge(v_prime, u_prime):
+                    count += 1
+        support[(v, u)] = count
+    return support
+
+
+def k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
+    """Return the k-bitruss subgraph (same vertex id space, fewer edges).
+
+    Edges whose butterfly support drops below ``k`` are peeled iteratively
+    until every remaining edge is contained in at least ``k`` butterflies.
+    Isolated vertices are kept (the id space is unchanged) so that the
+    result can be compared edge-wise against the input.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    working = graph.copy()
+    if k == 0:
+        return working
+    while True:
+        support = edge_butterfly_counts(working)
+        to_remove = [edge for edge, count in support.items() if count < k]
+        if not to_remove:
+            return working
+        for v, u in to_remove:
+            working.remove_edge(v, u)
+
+
+def bitruss_number(graph: BipartiteGraph) -> Dict[Tuple[int, int], int]:
+    """For every edge, the maximum ``k`` such that the edge survives in the k-bitruss.
+
+    Computed by repeated peeling; suitable for the small graphs used in the
+    tests and the case study, not for billion-edge inputs.
+    """
+    numbers: Dict[Tuple[int, int], int] = {edge: 0 for edge in graph.edges()}
+    working = graph.copy()
+    k = 1
+    while working.num_edges > 0:
+        truss = k_bitruss(working, k)
+        surviving = set(truss.edges())
+        for edge in list(numbers.keys()):
+            if edge in surviving:
+                numbers[edge] = k
+        working = truss
+        if truss.num_edges == 0:
+            break
+        k += 1
+        if k > graph.num_edges:  # safety net; cannot loop forever
+            break
+    return numbers

@@ -1,0 +1,102 @@
+"""Reading and writing bipartite graphs.
+
+Two plain-text formats are supported:
+
+* **edge list** — one ``left right`` pair per line, with an optional header
+  line ``% n_left n_right`` giving the side sizes (otherwise inferred as
+  ``max id + 1``).  Lines starting with ``#`` or ``%`` (other than the size
+  header) are ignored.
+* **KONECT-style** — the ``out.<name>`` files distributed by the KONECT
+  project (http://konect.cc), which the paper's real datasets come from:
+  whitespace-separated ``left right [weight [timestamp]]`` rows with 1-based
+  ids and ``%``-prefixed comments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, TextIO, Tuple, Union
+
+from .bipartite import BipartiteGraph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: BipartiteGraph, path: PathLike) -> None:
+    """Write ``graph`` as an edge list with an explicit size header."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"% {graph.n_left} {graph.n_right}\n")
+        for left_vertex, right_vertex in sorted(graph.edges()):
+            handle.write(f"{left_vertex} {right_vertex}\n")
+
+
+def read_edge_list(path: PathLike) -> BipartiteGraph:
+    """Read a graph written by :func:`write_edge_list` (or any 0-based edge list)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse_edge_list(handle)
+
+
+def _parse_edge_list(handle: TextIO) -> BipartiteGraph:
+    declared_sizes: Optional[Tuple[int, int]] = None
+    edges: List[Tuple[int, int]] = []
+    max_left = -1
+    max_right = -1
+    for raw_line in handle:
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("%"):
+            fields = line[1:].split()
+            if len(fields) >= 2 and declared_sizes is None:
+                try:
+                    declared_sizes = (int(fields[0]), int(fields[1]))
+                except ValueError:
+                    pass
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise ValueError(f"malformed edge-list line: {line!r}")
+        left_vertex, right_vertex = int(fields[0]), int(fields[1])
+        if left_vertex < 0 or right_vertex < 0:
+            raise ValueError(f"negative vertex id in line: {line!r}")
+        edges.append((left_vertex, right_vertex))
+        max_left = max(max_left, left_vertex)
+        max_right = max(max_right, right_vertex)
+    if declared_sizes is not None:
+        n_left, n_right = declared_sizes
+        if max_left >= n_left or max_right >= n_right:
+            raise ValueError("edge references a vertex outside the declared size header")
+    else:
+        n_left, n_right = max_left + 1, max_right + 1
+    return BipartiteGraph(max(n_left, 0), max(n_right, 0), edges=edges)
+
+
+def read_konect(path: PathLike) -> BipartiteGraph:
+    """Read a KONECT ``out.*`` bipartite file (1-based ids, ``%`` comments)."""
+    edges: List[Tuple[int, int]] = []
+    max_left = 0
+    max_right = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line or line.startswith("%") or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise ValueError(f"malformed KONECT line: {line!r}")
+            left_vertex, right_vertex = int(fields[0]), int(fields[1])
+            if left_vertex < 1 or right_vertex < 1:
+                raise ValueError(f"KONECT ids are 1-based; got line: {line!r}")
+            edges.append((left_vertex - 1, right_vertex - 1))
+            max_left = max(max_left, left_vertex)
+            max_right = max(max_right, right_vertex)
+    return BipartiteGraph(max_left, max_right, edges=edges)
+
+
+def write_konect(graph: BipartiteGraph, path: PathLike, name: str = "graph") -> None:
+    """Write ``graph`` in KONECT ``out.*`` format (1-based ids)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"% bip unweighted {name}\n")
+        handle.write(f"% {graph.num_edges} {graph.n_left} {graph.n_right}\n")
+        for left_vertex, right_vertex in sorted(graph.edges()):
+            handle.write(f"{left_vertex + 1} {right_vertex + 1}\n")

@@ -1,0 +1,206 @@
+"""Tests for the baseline algorithms: brute force, iMB, k-plex, inflation, biclique, δ-QB."""
+
+import pytest
+
+from repro.baselines import (
+    IMB,
+    count_k_biplexes_bruteforce,
+    enumerate_maximal_bicliques,
+    enumerate_maximal_kplexes,
+    enumerate_maximal_quasi_bicliques,
+    enumerate_mbps_bruteforce,
+    enumerate_mbps_imb,
+    enumerate_mbps_inflation,
+    find_quasi_bicliques_greedy,
+    is_biclique,
+    is_kplex,
+    is_maximal_kplex,
+    is_quasi_biclique,
+    maximum_biclique_greedy,
+)
+from repro.baselines.faplexen import FaPlexenPipeline
+from repro.core import is_maximal_k_biplex
+from repro.graph import BipartiteGraph, Graph, erdos_renyi_bipartite, paper_example_graph
+
+
+class TestBruteforce:
+    def test_rejects_invalid_k(self, example_graph):
+        with pytest.raises(ValueError):
+            enumerate_mbps_bruteforce(example_graph, 0)
+
+    def test_all_outputs_are_maximal(self, example_graph):
+        for solution in enumerate_mbps_bruteforce(example_graph, 1):
+            assert is_maximal_k_biplex(example_graph, solution.left, solution.right, 1)
+
+    def test_no_duplicates(self, example_graph):
+        solutions = enumerate_mbps_bruteforce(example_graph, 1)
+        assert len(solutions) == len(set(solutions))
+
+    def test_count_biplexes_monotone_in_k(self, tiny_graph):
+        assert count_k_biplexes_bruteforce(tiny_graph, 1) <= count_k_biplexes_bruteforce(
+            tiny_graph, 2
+        )
+
+    def test_complete_graph_single_solution(self, complete_graph):
+        solutions = enumerate_mbps_bruteforce(complete_graph, 1)
+        assert len(solutions) == 1
+        assert solutions[0].size == 6
+
+
+class TestIMB:
+    def test_matches_bruteforce(self, example_graph):
+        for k in (1, 2):
+            assert set(enumerate_mbps_imb(example_graph, k)) == set(
+                enumerate_mbps_bruteforce(example_graph, k)
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce_random(self, seed):
+        graph = erdos_renyi_bipartite(4, 4, num_edges=6 + seed, seed=seed)
+        assert set(enumerate_mbps_imb(graph, 1)) == set(enumerate_mbps_bruteforce(graph, 1))
+
+    def test_size_constraints(self, example_graph):
+        all_solutions = enumerate_mbps_bruteforce(example_graph, 1)
+        constrained = enumerate_mbps_imb(example_graph, 1, theta_left=2, theta_right=3)
+        expected = {
+            s for s in all_solutions if len(s.left) >= 2 and len(s.right) >= 3
+        }
+        assert set(constrained) == expected
+
+    def test_max_results(self, example_graph):
+        assert len(enumerate_mbps_imb(example_graph, 1, max_results=2)) == 2
+
+    def test_truncated_flag_on_time_limit(self, example_graph):
+        enumerator = IMB(example_graph, 1, time_limit=0.0)
+        enumerator.enumerate()
+        assert enumerator.truncated
+
+    def test_k_zero_yields_bicliques(self, example_graph):
+        for solution in enumerate_mbps_imb(example_graph, 0, theta_left=1, theta_right=1):
+            assert is_biclique(example_graph, solution.left, solution.right)
+
+    def test_negative_k_rejected(self, example_graph):
+        with pytest.raises(ValueError):
+            IMB(example_graph, -1)
+
+    def test_empty_graph(self):
+        assert enumerate_mbps_imb(BipartiteGraph(0, 0), 1) == []
+
+
+class TestKPlex:
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            enumerate_maximal_kplexes(Graph(3), 0)
+
+    def test_triangle_one_plex_is_the_clique(self):
+        graph = Graph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        plexes = enumerate_maximal_kplexes(graph, 1)
+        assert plexes == [{0, 1, 2}]
+
+    def test_path_two_plexes(self):
+        graph = Graph(3, edges=[(0, 1), (1, 2)])
+        plexes = {frozenset(p) for p in enumerate_maximal_kplexes(graph, 1)}
+        assert plexes == {frozenset({0, 1}), frozenset({1, 2})}
+        two_plexes = {frozenset(p) for p in enumerate_maximal_kplexes(graph, 2)}
+        assert frozenset({0, 1, 2}) in two_plexes
+
+    def test_all_outputs_are_maximal_kplexes(self):
+        graph = Graph(5, edges=[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (1, 3)])
+        for k in (1, 2):
+            for plex in enumerate_maximal_kplexes(graph, k):
+                assert is_kplex(graph, plex, k)
+                assert is_maximal_kplex(graph, plex, k)
+
+    def test_must_contain(self):
+        graph = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        for plex in enumerate_maximal_kplexes(graph, 2, must_contain=0):
+            assert 0 in plex
+            assert is_maximal_kplex(graph, plex, 2)
+
+    def test_empty_graph(self):
+        assert enumerate_maximal_kplexes(Graph(0), 1) == []
+
+    def test_max_results(self):
+        graph = Graph(4, edges=[(0, 1), (2, 3)])
+        assert len(enumerate_maximal_kplexes(graph, 1, max_results=1)) == 1
+
+
+class TestInflationPipeline:
+    def test_matches_bruteforce(self, example_graph):
+        for k in (1, 2):
+            assert set(enumerate_mbps_inflation(example_graph, k)) == set(
+                enumerate_mbps_bruteforce(example_graph, k)
+            )
+
+    def test_memory_budget_reports_out(self, example_graph):
+        pipeline = FaPlexenPipeline(example_graph, 1, memory_edge_budget=1)
+        assert pipeline.enumerate() == []
+        assert pipeline.stats.truncated
+        assert pipeline.stats.inflated_edges > 1
+
+    def test_stats_totals(self, example_graph):
+        pipeline = FaPlexenPipeline(example_graph, 1)
+        pipeline.enumerate()
+        assert pipeline.stats.total_seconds >= 0
+        assert pipeline.stats.inflated_edges > example_graph.num_edges
+
+
+class TestBiclique:
+    def test_all_outputs_are_bicliques(self, example_graph):
+        for biclique in enumerate_maximal_bicliques(example_graph):
+            assert is_biclique(example_graph, biclique.left, biclique.right)
+
+    def test_complete_graph_biclique(self, complete_graph):
+        bicliques = enumerate_maximal_bicliques(complete_graph, theta_left=3, theta_right=3)
+        assert len(bicliques) == 1
+        assert bicliques[0].size == 6
+
+    def test_size_thresholds_respected(self, example_graph):
+        for biclique in enumerate_maximal_bicliques(example_graph, theta_left=2, theta_right=2):
+            assert len(biclique.left) >= 2 and len(biclique.right) >= 2
+
+    def test_maximum_biclique_greedy(self, example_graph):
+        best = maximum_biclique_greedy(example_graph, theta_left=1, theta_right=1)
+        assert best is not None
+        assert is_biclique(example_graph, best.left, best.right)
+
+    def test_maximum_biclique_none_when_too_strict(self, empty_graph):
+        assert maximum_biclique_greedy(empty_graph, theta_left=2, theta_right=2) is None
+
+
+class TestQuasiBiclique:
+    def test_predicate_biclique_is_qb_for_any_delta(self, complete_graph):
+        assert is_quasi_biclique(complete_graph, [0, 1, 2], [0, 1, 2], 0.0)
+
+    def test_predicate_counts_relative_budget(self, example_graph):
+        # v3 misses 3 of the 5 right vertices (needs delta >= 3/5) and each
+        # missed right vertex misses the single left vertex (needs delta >= 1).
+        assert not is_quasi_biclique(example_graph, [3], [0, 1, 2, 3, 4], 0.5)
+        assert is_quasi_biclique(example_graph, [3], [0, 1, 2, 3, 4], 1.0)
+        # v0 is adjacent to u0, u1 and u3, so this pair is a 0-QB (a biclique).
+        assert is_quasi_biclique(example_graph, [0], [0, 1, 3], 0.0)
+
+    def test_exact_enumeration_outputs_are_qbs(self, example_graph):
+        for qb in enumerate_maximal_quasi_bicliques(example_graph, 0.3, 2, 2):
+            assert is_quasi_biclique(example_graph, qb.left, qb.right, 0.3)
+            assert len(qb.left) >= 2 and len(qb.right) >= 2
+
+    def test_exact_enumeration_maximality(self, example_graph):
+        results = enumerate_maximal_quasi_bicliques(example_graph, 0.3, 2, 2)
+        for first in results:
+            for second in results:
+                if first != second:
+                    assert not second.contains(first)
+
+    def test_greedy_finder_outputs_are_qbs(self, example_graph):
+        structures = find_quasi_bicliques_greedy(example_graph, 0.25, 2, 2)
+        for structure in structures:
+            assert is_quasi_biclique(example_graph, structure.left, structure.right, 0.25)
+            assert len(structure.left) >= 2 and len(structure.right) >= 2
+
+    def test_greedy_finder_with_explicit_seeds(self, example_graph):
+        from repro.core import Biplex
+
+        seeds = [Biplex.of([4], [0, 1, 2, 3, 4])]
+        structures = find_quasi_bicliques_greedy(example_graph, 0.4, 1, 3, seeds=seeds)
+        assert structures, "the seed itself satisfies the constraints"

@@ -1,0 +1,161 @@
+"""Tests for the EnumAlmostSat procedure and its refinement variants."""
+
+import pytest
+
+from repro.core import Biplex, ITraversal
+from repro.core.enum_almost_sat import (
+    EnumAlmostSatConfig,
+    count_local_solutions,
+    enum_local_solutions,
+    enum_local_solutions_inflation,
+    enum_local_solutions_naive,
+)
+from repro.graph import erdos_renyi_bipartite, paper_example_graph
+
+ALL_CONFIGS = [
+    EnumAlmostSatConfig(right_refinement=r, left_refinement=l) for r in (1, 2) for l in (1, 2)
+]
+
+
+class TestConfig:
+    def test_labels(self):
+        assert EnumAlmostSatConfig(2, 2).label == "L2.0+R2.0"
+        assert EnumAlmostSatConfig(right_refinement=1, left_refinement=2).label == "L2.0+R1.0"
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            EnumAlmostSatConfig(right_refinement=3)
+        with pytest.raises(ValueError):
+            EnumAlmostSatConfig(left_refinement=0)
+
+
+class TestPaperExample:
+    def test_example_3_1(self, example_graph):
+        """From H0 = ({v4}, R) adding v0 yields the local solution ({v0, v4}, R \\ {u4})."""
+        locals_found = list(
+            enum_local_solutions(example_graph, {4}, set(range(5)), 0, 1)
+        )
+        assert Biplex.of([0, 4], [0, 1, 2, 3]) in locals_found
+
+    def test_example_3_2_round_one(self, example_graph):
+        """From H0 adding v1: the local solution ({v1, v4}, {u0..u3}) appears."""
+        locals_found = list(
+            enum_local_solutions(example_graph, {4}, set(range(5)), 1, 1)
+        )
+        assert Biplex.of([1, 4], [0, 1, 2, 3]) in locals_found
+
+    def test_example_3_2_round_two(self, example_graph):
+        """From H1 = ({v0, v1, v4}, {u0..u3}) adding v2: ({v1, v2, v4}, {u0, u1, u2})."""
+        locals_found = list(
+            enum_local_solutions(example_graph, {0, 1, 4}, {0, 1, 2, 3}, 2, 1)
+        )
+        assert Biplex.of([1, 2, 4], [0, 1, 2]) in locals_found
+
+    def test_every_local_solution_contains_v(self, example_graph):
+        for v in (0, 1, 2, 3):
+            for local in enum_local_solutions(example_graph, {4}, set(range(5)), v, 1):
+                assert v in local.left
+
+    def test_rejects_vertex_already_in_solution(self, example_graph):
+        with pytest.raises(ValueError):
+            list(enum_local_solutions(example_graph, {4}, set(range(5)), 4, 1))
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.label)
+    def test_all_refinements_match_naive_on_example(self, example_graph, config):
+        solution_left, solution_right = {4}, set(range(5))
+        for v in (0, 1, 2, 3):
+            fast = set(
+                enum_local_solutions(example_graph, solution_left, solution_right, v, 1, config)
+            )
+            naive = set(
+                enum_local_solutions_naive(example_graph, solution_left, solution_right, v, 1)
+            )
+            assert fast == naive
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_refinements_match_naive_on_random_graphs(self, seed, k):
+        graph = erdos_renyi_bipartite(4, 4, num_edges=7 + seed % 6, seed=seed)
+        solutions = ITraversal(graph, k).enumerate()
+        for solution in solutions[:2]:
+            outside = [v for v in graph.left_vertices() if v not in solution.left]
+            for v in outside[:2]:
+                naive = set(
+                    enum_local_solutions_naive(
+                        graph, set(solution.left), set(solution.right), v, k
+                    )
+                )
+                for config in ALL_CONFIGS:
+                    fast = set(
+                        enum_local_solutions(
+                            graph, set(solution.left), set(solution.right), v, k, config
+                        )
+                    )
+                    assert fast == naive, config.label
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_inflation_variant_matches_naive(self, seed):
+        graph = erdos_renyi_bipartite(4, 4, num_edges=8, seed=100 + seed)
+        k = 1
+        solutions = ITraversal(graph, k).enumerate()
+        solution = solutions[0]
+        outside = [v for v in graph.left_vertices() if v not in solution.left]
+        if not outside:
+            pytest.skip("solution already covers the left side")
+        v = outside[0]
+        naive = set(
+            enum_local_solutions_naive(graph, set(solution.left), set(solution.right), v, k)
+        )
+        inflation = set(
+            enum_local_solutions_inflation(graph, set(solution.left), set(solution.right), v, k)
+        )
+        assert inflation == naive
+
+
+class TestPrecomputedMissCounts:
+    def test_solution_right_missing_gives_same_result(self, example_graph):
+        left, right = {4}, set(range(5))
+        precomputed = {
+            u: example_graph.missing_right(u, left) for u in right
+        }
+        for v in (0, 1, 2):
+            with_precomputed = set(
+                enum_local_solutions(
+                    example_graph, left, right, v, 1, solution_right_missing=precomputed
+                )
+            )
+            without = set(enum_local_solutions(example_graph, left, right, v, 1))
+            assert with_precomputed == without
+
+
+class TestMinRightSize:
+    def test_min_right_size_filters_small_local_solutions(self, example_graph):
+        left, right = {4}, set(range(5))
+        unfiltered = list(enum_local_solutions(example_graph, left, right, 0, 1))
+        filtered = list(
+            enum_local_solutions(example_graph, left, right, 0, 1, min_right_size=4)
+        )
+        assert all(len(local.right) >= 4 for local in filtered)
+        assert set(filtered) <= set(unfiltered)
+
+    def test_min_right_size_zero_is_noop(self, example_graph):
+        left, right = {4}, set(range(5))
+        assert set(enum_local_solutions(example_graph, left, right, 0, 1)) == set(
+            enum_local_solutions(example_graph, left, right, 0, 1, min_right_size=0)
+        )
+
+
+class TestCounting:
+    def test_count_matches_enumeration(self, example_graph):
+        left, right = {4}, set(range(5))
+        assert count_local_solutions(example_graph, left, right, 0, 1) == len(
+            list(enum_local_solutions(example_graph, left, right, 0, 1))
+        )
+
+    def test_no_duplicate_local_solutions(self, example_graph):
+        left, right = {4}, set(range(5))
+        for v in (0, 1, 2, 3):
+            found = list(enum_local_solutions(example_graph, left, right, v, 1))
+            assert len(found) == len(set(found))

@@ -1,0 +1,281 @@
+"""Tests for the general graph, inflation, cores, butterflies, generators and I/O."""
+
+import pytest
+
+from repro.graph import (
+    BipartiteGraph,
+    Graph,
+    alpha_beta_core,
+    alpha_beta_core_subgraph,
+    erdos_renyi_bipartite,
+    inflate,
+    inflated_edge_count,
+    join_vertex_sets,
+    planted_biplex_graph_with_blocks,
+    power_law_bipartite,
+    read_edge_list,
+    read_konect,
+    review_graph_with_camouflage,
+    split_vertex_set,
+    theta_core_for_large_mbps,
+    write_edge_list,
+    write_konect,
+)
+from repro.graph.butterfly import (
+    bitruss_number,
+    count_butterflies,
+    edge_butterfly_counts,
+    k_bitruss,
+)
+from repro.graph.generators import degree_histogram
+
+
+class TestGeneralGraph:
+    def test_basic_properties(self):
+        graph = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+        assert graph.degree(1) == 2
+        assert graph.has_edge(2, 3) and not graph.has_edge(0, 3)
+
+    def test_rejects_self_loops_and_bad_ids(self):
+        graph = Graph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 5)
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_edges_listed_once(self):
+        graph = Graph(3, edges=[(0, 1), (1, 0), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_kplex_predicate(self):
+        triangle = Graph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        assert triangle.subgraph_is_kplex({0, 1, 2}, 1)
+        path = Graph(3, edges=[(0, 1), (1, 2)])
+        assert not path.subgraph_is_kplex({0, 1, 2}, 1)
+        assert path.subgraph_is_kplex({0, 1, 2}, 2)
+
+    def test_non_neighbors_within(self):
+        graph = Graph(4, edges=[(0, 1)])
+        assert graph.non_neighbors_within(0, {1, 2, 3}) == {2, 3}
+        assert graph.missing_within(0, {1, 2, 3}) == 2
+
+
+class TestInflation:
+    def test_inflated_edge_count_formula(self, example_graph):
+        assert inflated_edge_count(example_graph) == 5 * 4 // 2 + 5 * 4 // 2 + 16
+
+    def test_inflate_structure(self, tiny_graph):
+        inflated = inflate(tiny_graph)
+        assert inflated.num_vertices == 5
+        assert inflated.num_edges == inflated_edge_count(tiny_graph)
+        # Same-side pairs are connected.
+        assert inflated.has_edge(0, 1)          # two left vertices
+        assert inflated.has_edge(2, 3)          # two right vertices (shifted by n_left)
+        # Cross edges copied.
+        assert inflated.has_edge(0, 2 + 0)      # v0 - u0
+
+    def test_biplex_plex_correspondence(self, example_graph):
+        inflated = inflate(example_graph)
+        # H1 = ({v0, v1, v4}, {u0..u3}) is a 1-biplex <=> 2-plex in the inflation.
+        vertex_set = join_vertex_sets(frozenset({0, 1, 4}), frozenset({0, 1, 2, 3}), 5)
+        assert inflated.subgraph_is_kplex(vertex_set, 2)
+
+    def test_split_and_join_roundtrip(self):
+        left, right = frozenset({0, 2}), frozenset({1, 3})
+        joined = join_vertex_sets(left, right, 5)
+        assert split_vertex_set(joined, 5) == (left, right)
+
+
+class TestCores:
+    def test_complete_graph_core_is_everything(self, complete_graph):
+        left, right = alpha_beta_core(complete_graph, 3, 3)
+        assert left == {0, 1, 2}
+        assert right == {0, 1, 2}
+
+    def test_star_core_peels_leaves(self):
+        graph = BipartiteGraph(3, 1, edges=[(0, 0), (1, 0), (2, 0)])
+        left, right = alpha_beta_core(graph, 1, 2)
+        assert right == {0}
+        assert left == {0, 1, 2}
+        left, right = alpha_beta_core(graph, 2, 1)
+        assert left == set() and right == set()
+
+    def test_core_subgraph_mapping(self, example_graph):
+        subgraph, left_map, right_map = alpha_beta_core_subgraph(example_graph, 3, 3)
+        for new_left, original_left in enumerate(left_map):
+            assert subgraph.degree_of_left(new_left) == len(
+                set(example_graph.neighbors_of_left(original_left)) & set(right_map)
+            )
+
+    def test_core_degrees_satisfied(self, example_graph):
+        left, right = alpha_beta_core(example_graph, 3, 2)
+        for v in left:
+            assert len(set(example_graph.neighbors_of_left(v)) & right) >= 3
+        for u in right:
+            assert len(set(example_graph.neighbors_of_right(u)) & left) >= 2
+
+    def test_theta_core_contains_every_large_mbp(self, example_graph):
+        from repro.baselines import enumerate_mbps_bruteforce
+
+        theta, k = 3, 1
+        core, left_map, right_map = theta_core_for_large_mbps(example_graph, k, theta)
+        core_left, core_right = set(left_map), set(right_map)
+        for solution in enumerate_mbps_bruteforce(example_graph, k):
+            if len(solution.left) >= theta and len(solution.right) >= theta:
+                assert solution.left <= core_left
+                assert solution.right <= core_right
+
+    def test_zero_thresholds_keep_everything(self, example_graph):
+        left, right = alpha_beta_core(example_graph, 0, 0)
+        assert left == set(example_graph.left_vertices())
+        assert right == set(example_graph.right_vertices())
+
+
+class TestButterflies:
+    def test_single_butterfly(self):
+        graph = BipartiteGraph(2, 2, edges=[(0, 0), (0, 1), (1, 0), (1, 1)])
+        assert count_butterflies(graph) == 1
+        assert all(count == 1 for count in edge_butterfly_counts(graph).values())
+
+    def test_no_butterflies_in_a_tree(self, tiny_graph):
+        assert count_butterflies(tiny_graph) == 0
+
+    def test_counts_match_bruteforce_on_example(self, example_graph):
+        # Brute-force count of 2x2 complete subgraphs.
+        from itertools import combinations
+
+        expected = 0
+        for v1, v2 in combinations(range(example_graph.n_left), 2):
+            common = set(example_graph.neighbors_of_left(v1)) & set(
+                example_graph.neighbors_of_left(v2)
+            )
+            expected += len(common) * (len(common) - 1) // 2
+        assert count_butterflies(example_graph) == expected
+
+    def test_k_bitruss_edges_have_support(self, example_graph):
+        truss = k_bitruss(example_graph, 2)
+        support = edge_butterfly_counts(truss)
+        assert all(count >= 2 for count in support.values()) or truss.num_edges == 0
+
+    def test_k_bitruss_zero_is_identity(self, example_graph):
+        assert k_bitruss(example_graph, 0).num_edges == example_graph.num_edges
+
+    def test_k_bitruss_rejects_negative(self, example_graph):
+        with pytest.raises(ValueError):
+            k_bitruss(example_graph, -1)
+
+    def test_bitruss_numbers_consistent(self, example_graph):
+        numbers = bitruss_number(example_graph)
+        for edge, number in numbers.items():
+            if number >= 1:
+                truss = k_bitruss(example_graph, number)
+                assert edge in set(truss.edges())
+
+
+class TestGenerators:
+    def test_er_exact_edge_count(self):
+        graph = erdos_renyi_bipartite(10, 12, num_edges=30, seed=3)
+        assert graph.num_edges == 30
+
+    def test_er_density_parameter(self):
+        graph = erdos_renyi_bipartite(20, 20, edge_density=2.0, seed=3)
+        assert graph.num_edges == 80
+
+    def test_er_parameter_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(3, 3, num_edges=5, edge_density=1.0)
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(3, 3)
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(2, 2, num_edges=10)
+
+    def test_er_dense_regime(self):
+        graph = erdos_renyi_bipartite(6, 6, num_edges=30, seed=1)
+        assert graph.num_edges == 30
+
+    def test_er_deterministic_with_seed(self):
+        first = erdos_renyi_bipartite(8, 8, num_edges=20, seed=42)
+        second = erdos_renyi_bipartite(8, 8, num_edges=20, seed=42)
+        assert first == second
+
+    def test_power_law_reaches_target(self):
+        graph = power_law_bipartite(30, 30, num_edges=80, seed=5)
+        assert graph.num_edges == 80
+
+    def test_planted_blocks_are_k_biplexes(self):
+        from repro.core import is_k_biplex
+
+        graph, blocks = planted_biplex_graph_with_blocks(
+            20, 20, block_left=5, block_right=5, k=1, num_blocks=2, seed=7
+        )
+        for left_block, right_block in blocks:
+            assert is_k_biplex(graph, left_block, right_block, 1)
+
+    def test_planted_blocks_do_not_fit(self):
+        with pytest.raises(ValueError):
+            planted_biplex_graph_with_blocks(4, 4, 3, 3, 1, num_blocks=2)
+
+    def test_review_graph_ground_truth(self):
+        graph, injection = review_graph_with_camouflage(
+            n_real_users=30,
+            n_real_products=20,
+            n_real_reviews=60,
+            n_fake_users=5,
+            n_fake_products=5,
+            n_fake_reviews=15,
+            n_camouflage_reviews=15,
+            seed=1,
+        )
+        assert graph.n_left == 35 and graph.n_right == 25
+        assert injection.fake_users == set(range(30, 35))
+        assert injection.fake_products == set(range(20, 25))
+        # Fake users have both in-block and camouflage edges.
+        for user in injection.fake_users:
+            neighbors = graph.neighbors_of_left(user)
+            assert any(p in injection.fake_products for p in neighbors)
+
+    def test_degree_histogram_sums_to_side_sizes(self, example_graph):
+        left_hist, right_hist = degree_histogram(example_graph)
+        assert sum(left_hist.values()) == example_graph.n_left
+        assert sum(right_hist.values()) == example_graph.n_right
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path, example_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(example_graph, path)
+        assert read_edge_list(path) == example_graph
+
+    def test_edge_list_without_header(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 0\n1 2\n# comment\n")
+        graph = read_edge_list(path)
+        assert graph.n_left == 2 and graph.n_right == 3
+        assert graph.num_edges == 2
+
+    def test_edge_list_rejects_inconsistent_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("% 1 1\n0 5\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_edge_list_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("justone\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_konect_roundtrip(self, tmp_path, example_graph):
+        path = tmp_path / "out.example"
+        write_konect(example_graph, path, name="example")
+        assert read_konect(path) == example_graph
+
+    def test_konect_rejects_zero_based(self, tmp_path):
+        path = tmp_path / "out.bad"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_konect(path)

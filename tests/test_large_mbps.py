@@ -1,0 +1,97 @@
+"""Tests for the large-MBP extension (Section 5)."""
+
+import pytest
+
+from repro.baselines import enumerate_mbps_bruteforce
+from repro.core import ITraversal, LargeMBPEnumerator, enumerate_large_mbps, filter_large
+from repro.graph import erdos_renyi_bipartite, paper_example_graph, planted_biplex_graph
+
+
+def brute_large(graph, k, theta):
+    return {
+        s
+        for s in enumerate_mbps_bruteforce(graph, k)
+        if len(s.left) >= theta and len(s.right) >= theta
+    }
+
+
+class TestLargeEnumeration:
+    @pytest.mark.parametrize("theta", [2, 3])
+    def test_matches_bruteforce_on_example(self, example_graph, theta):
+        expected = brute_large(example_graph, 1, theta)
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=theta)
+        assert set(enumerator.enumerate()) == expected
+
+    @pytest.mark.parametrize("theta", [2, 3])
+    @pytest.mark.parametrize("use_core", [True, False])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce_on_random_graphs(self, seed, theta, use_core):
+        graph = erdos_renyi_bipartite(5, 5, num_edges=12 + seed, seed=seed)
+        expected = brute_large(graph, 1, theta)
+        enumerator = LargeMBPEnumerator(
+            graph, 1, theta=theta, use_core_preprocessing=use_core
+        )
+        assert set(enumerator.enumerate()) == expected
+
+    def test_planted_block_is_found(self):
+        graph = planted_biplex_graph(
+            15, 15, block_left=5, block_right=5, k=1, background_edges=10, seed=3
+        )
+        solutions = LargeMBPEnumerator(graph, 1, theta=4).enumerate()
+        assert solutions, "the planted near-biplex block must be recovered"
+        assert all(len(s.left) >= 4 and len(s.right) >= 4 for s in solutions)
+
+    def test_asymmetric_thresholds(self, example_graph):
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta_left=1, theta_right=4)
+        for solution in enumerator.enumerate():
+            assert len(solution.left) >= 1
+            assert len(solution.right) >= 4
+
+    def test_core_graph_exposed(self, example_graph):
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=3)
+        assert enumerator.core_graph.n_left <= example_graph.n_left
+        assert enumerator.core_graph.n_right <= example_graph.n_right
+
+    def test_translated_ids_reference_original_graph(self):
+        graph = planted_biplex_graph(
+            12, 12, block_left=4, block_right=4, k=1, background_edges=5, seed=9
+        )
+        for solution in LargeMBPEnumerator(graph, 1, theta=3).enumerate():
+            for v in solution.left:
+                assert 0 <= v < graph.n_left
+            for u in solution.right:
+                assert 0 <= u < graph.n_right
+
+    def test_functional_wrapper(self, example_graph):
+        solutions, stats = enumerate_large_mbps(example_graph, 1, theta=3)
+        assert set(solutions) == brute_large(example_graph, 1, 3)
+        assert stats.num_reported == len(solutions)
+
+
+class TestAgainstPostFiltering:
+    def test_equals_enumerate_then_filter(self, example_graph):
+        everything = ITraversal(example_graph, 1).enumerate()
+        filtered = set(filter_large(everything, 3, 3))
+        direct = set(LargeMBPEnumerator(example_graph, 1, theta=3).enumerate())
+        assert direct == filtered
+
+    def test_filter_large_keeps_order(self, example_graph):
+        everything = ITraversal(example_graph, 1).enumerate()
+        filtered = filter_large(everything, 1, 1)
+        assert filtered == [s for s in everything if len(s.left) >= 1 and len(s.right) >= 1]
+
+
+class TestPruningDoesNotOverPrune:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theta_larger_than_any_solution(self, seed):
+        graph = erdos_renyi_bipartite(4, 4, num_edges=6, seed=200 + seed)
+        enumerator = LargeMBPEnumerator(graph, 1, theta=10)
+        assert enumerator.enumerate() == []
+
+    def test_theta_one_equals_plain_enumeration_nonempty_sides(self, example_graph):
+        plain = {
+            s
+            for s in ITraversal(example_graph, 1).enumerate()
+            if len(s.left) >= 1 and len(s.right) >= 1
+        }
+        assert set(LargeMBPEnumerator(example_graph, 1, theta=1).enumerate()) == plain
