@@ -1,0 +1,92 @@
+"""Backend microbenchmark — set vs bitset adjacency on generator graphs.
+
+Runs iTraversal with both adjacency backends on the same ER graphs across a
+density sweep, checks the enumerated solution sets are identical, and
+reports per-backend wall-clock plus the speedup.  The bitset backend's
+word-parallel Γ/δ̄ predicates should win, with the margin growing on the
+denser configurations (the same effect the BBK and symmetric-BK
+implementations report for their compact adjacency representations).
+
+Runnable standalone (``python benchmarks/bench_backend_bitset.py``) or via
+pytest-benchmark like the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # standalone run: mirror conftest's path setup
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.core import TraversalConfig, run_with_stats
+from repro.graph import erdos_renyi_bipartite
+
+# (n_left, n_right, edge_density) — density is |E| / (|L| + |R|) as in the paper.
+BACKEND_BENCH_CONFIGS = (
+    (50, 50, 1.0),
+    (50, 50, 2.0),
+    (60, 60, 3.0),
+    (60, 60, 4.0),
+)
+K = 1
+MAX_RESULTS = 400
+
+
+def _time_backend(graph, backend: str):
+    config = TraversalConfig(backend=backend, max_results=MAX_RESULTS)
+    start = time.perf_counter()
+    solutions, stats = run_with_stats(graph, K, config)
+    elapsed = time.perf_counter() - start
+    return solutions, stats, elapsed
+
+
+def run_backend_comparison(configs=BACKEND_BENCH_CONFIGS, seed: int = 3):
+    """One row per graph config: wall-clock for each backend + speedup."""
+    rows = []
+    for n_left, n_right, density in configs:
+        graph = erdos_renyi_bipartite(n_left, n_right, edge_density=density, seed=seed)
+        set_solutions, set_stats, set_seconds = _time_backend(graph, "set")
+        bitset_solutions, bitset_stats, bitset_seconds = _time_backend(graph, "bitset")
+        set_keys = sorted(s.key() for s in set_solutions)
+        bitset_keys = sorted(s.key() for s in bitset_solutions)
+        assert set_keys == bitset_keys, "backends must enumerate identical solution sets"
+        assert set_stats.num_links == bitset_stats.num_links
+        rows.append(
+            {
+                "n_left": n_left,
+                "n_right": n_right,
+                "edge_density": density,
+                "num_solutions": len(set_solutions),
+                "set_seconds": set_seconds,
+                "bitset_seconds": bitset_seconds,
+                "speedup": set_seconds / bitset_seconds if bitset_seconds else float("inf"),
+            }
+        )
+    return rows
+
+
+def test_backend_bitset_speedup(benchmark):
+    from conftest import run_once
+
+    from repro.bench.reporting import print_table
+
+    rows = run_once(benchmark, run_backend_comparison)
+    print()
+    print_table(rows, title="Backend microbenchmark: set vs bitset adjacency (iTraversal, k=1)")
+    assert [row["edge_density"] for row in rows] == [c[2] for c in BACKEND_BENCH_CONFIGS]
+    # The bitset backend must win on the dense configurations.
+    dense = [row for row in rows if row["edge_density"] >= 3.0]
+    assert all(row["speedup"] > 1.0 for row in dense)
+
+
+if __name__ == "__main__":
+    from repro.bench.reporting import print_table
+
+    print_table(
+        run_backend_comparison(),
+        title="Backend microbenchmark: set vs bitset adjacency (iTraversal, k=1)",
+    )

@@ -29,6 +29,7 @@ from .core import (
 )
 from .graph import (
     BipartiteGraph,
+    BitsetBipartiteGraph,
     Side,
     erdos_renyi_bipartite,
     paper_example_graph,
@@ -44,6 +45,7 @@ __all__ = [
     "__version__",
     "Biplex",
     "BipartiteGraph",
+    "BitsetBipartiteGraph",
     "Side",
     "ITraversal",
     "BTraversal",

@@ -45,6 +45,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("full", "no-exclusion", "left-anchored-only"),
         help="iTraversal variant",
     )
+    enumerate_parser.add_argument(
+        "--backend",
+        default="set",
+        choices=("set", "bitset"),
+        help="adjacency substrate: plain sets or word-parallel bitmasks (default: set)",
+    )
     enumerate_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
     enumerate_parser.add_argument("--max-results", type=int, default=None)
     enumerate_parser.add_argument("--time-limit", type=float, default=None, help="seconds")
@@ -74,6 +80,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         theta_right=args.theta,
         max_results=args.max_results,
         time_limit=args.time_limit,
+        backend=args.backend,
     )
     solutions = algorithm.enumerate()
     if not args.quiet:

@@ -4,7 +4,9 @@ from .biplex import (
     Biplex,
     arbitrary_initial_solution,
     can_add_left,
+    can_add_left_masked,
     can_add_right,
+    can_add_right_masked,
     extend_to_maximal,
     initial_solution_left_anchored,
     initial_solution_right_anchored,
@@ -37,7 +39,9 @@ __all__ = [
     "is_k_biplex",
     "is_maximal_k_biplex",
     "can_add_left",
+    "can_add_left_masked",
     "can_add_right",
+    "can_add_right_masked",
     "extend_to_maximal",
     "initial_solution_left_anchored",
     "initial_solution_right_anchored",

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph
+from ..graph.protocol import iter_bits, mask_of, supports_masks
 
 
 @dataclass(frozen=True, order=True)
@@ -73,6 +74,16 @@ def is_k_biplex(
     ``right`` and every right vertex misses at most ``k`` vertices of
     ``left``.  Empty sides are allowed (``(∅, R)`` is always a k-biplex).
     """
+    if supports_masks(graph):
+        left_mask = mask_of(left)
+        right_mask = mask_of(right)
+        for v in iter_bits(left_mask):
+            if (right_mask & ~graph.adj_left_mask(v)).bit_count() > k:
+                return False
+        for u in iter_bits(right_mask):
+            if (left_mask & ~graph.adj_right_mask(u)).bit_count() > k:
+                return False
+        return True
     left_set = set(left)
     right_set = set(right)
     for v in left_set:
@@ -135,6 +146,56 @@ def can_add_right(
     return True
 
 
+def can_add_left_masked(
+    graph,
+    left_mask: int,
+    right_mask: int,
+    candidate: int,
+    k: int,
+) -> bool:
+    """Bitmask twin of :func:`can_add_left` for mask-capable substrates.
+
+    ``left_mask`` / ``right_mask`` are the packed vertex sets of a k-biplex;
+    the decision is identical to the set version, but the "missed" vertices
+    are found with one word-parallel ``&``/``~`` instead of a set difference
+    and only their (at most ``k``) bits are walked.
+    """
+    if (left_mask >> candidate) & 1:
+        return False
+    missed = right_mask & ~graph.adj_left_mask(candidate)
+    if missed.bit_count() > k:
+        return False
+    adj_right_mask = graph.adj_right_mask
+    while missed:
+        low = missed & -missed
+        if (left_mask & ~adj_right_mask(low.bit_length() - 1)).bit_count() >= k:
+            return False
+        missed ^= low
+    return True
+
+
+def can_add_right_masked(
+    graph,
+    left_mask: int,
+    right_mask: int,
+    candidate: int,
+    k: int,
+) -> bool:
+    """Mirror image of :func:`can_add_left_masked` for a right-side candidate."""
+    if (right_mask >> candidate) & 1:
+        return False
+    missed = left_mask & ~graph.adj_right_mask(candidate)
+    if missed.bit_count() > k:
+        return False
+    adj_left_mask = graph.adj_left_mask
+    while missed:
+        low = missed & -missed
+        if (right_mask & ~adj_left_mask(low.bit_length() - 1)).bit_count() >= k:
+            return False
+        missed ^= low
+    return True
+
+
 def is_maximal_k_biplex(
     graph: BipartiteGraph,
     left: Iterable[int],
@@ -189,6 +250,8 @@ def extend_to_maximal(
     (Line 8 of Algorithm 2 excludes ``R``).  ``None`` means "all vertices of
     that side".
     """
+    if supports_masks(graph):
+        return _extend_to_maximal_masked(graph, left, right, k, candidate_left, candidate_right)
     left_set = set(left)
     right_set = set(right)
     if candidate_left is None:
@@ -232,6 +295,93 @@ def extend_to_maximal(
     return Biplex.of(left_set, right_set)
 
 
+def _extend_to_maximal_masked(
+    graph,
+    left: Iterable[int],
+    right: Iterable[int],
+    k: int,
+    candidate_left: Optional[Sequence[int]] = None,
+    candidate_right: Optional[Sequence[int]] = None,
+) -> Biplex:
+    """Bitmask implementation of :func:`extend_to_maximal`.
+
+    Candidates are pre-filtered with the same edge-proportional counting
+    trick as the set version (the bitset substrate keeps adjacency sets
+    too) and tried in the same ascending order, left side first, so the
+    resulting maximal k-biplex is bit-for-bit identical — only the
+    per-candidate "missed vertices" work is word-parallel: one ``& ~`` plus
+    a popcount instead of materialising a set difference.
+    """
+    adj_left_mask = graph.adj_left_mask
+    adj_right_mask = graph.adj_right_mask
+    left_set = set(left)
+    right_set = set(right)
+    left_mask = mask_of(left_set)
+    right_mask = mask_of(right_set)
+    left_pool: Sequence[int] = (
+        range(graph.n_left) if candidate_left is None else sorted(candidate_left)
+    )
+    right_pool: Sequence[int] = (
+        range(graph.n_right) if candidate_right is None else sorted(candidate_right)
+    )
+    # Miss counters are dense lists: vertex ids index directly, and the inner
+    # loops below walk only the set bits of a ≤ k-bit "missed" mask.
+    left_miss = [0] * graph.n_left
+    right_miss = [0] * graph.n_right
+    for v in left_set:
+        left_miss[v] = (right_mask & ~adj_left_mask(v)).bit_count()
+    for u in right_set:
+        right_miss[u] = (left_mask & ~adj_right_mask(u)).bit_count()
+
+    for v in _extension_candidates(left_pool, left_set, right_set, k, graph.neighbors_of_right):
+        missed = right_mask & ~adj_left_mask(v)
+        count = missed.bit_count()
+        if count > k:
+            continue
+        rejected = False
+        probe = missed
+        while probe:
+            low = probe & -probe
+            if right_miss[low.bit_length() - 1] >= k:
+                rejected = True
+                break
+            probe ^= low
+        if rejected:
+            continue
+        left_set.add(v)
+        left_mask |= 1 << v
+        left_miss[v] = count
+        while missed:
+            low = missed & -missed
+            right_miss[low.bit_length() - 1] += 1
+            missed ^= low
+
+    for u in _extension_candidates(right_pool, right_set, left_set, k, graph.neighbors_of_left):
+        missed = left_mask & ~adj_right_mask(u)
+        count = missed.bit_count()
+        if count > k:
+            continue
+        rejected = False
+        probe = missed
+        while probe:
+            low = probe & -probe
+            if left_miss[low.bit_length() - 1] >= k:
+                rejected = True
+                break
+            probe ^= low
+        if rejected:
+            continue
+        right_set.add(u)
+        right_mask |= 1 << u
+        right_miss[u] = count
+        while missed:
+            low = missed & -missed
+            left_miss[low.bit_length() - 1] += 1
+            missed ^= low
+
+    return Biplex.of(left_set, right_set)
+
+
 def _extension_candidates(pool, own_side, other_side, k, other_neighbors):
     """Candidates from ``pool`` that could possibly join the current biplex.
 
@@ -270,6 +420,21 @@ def initial_solution_left_anchored(graph: BipartiteGraph, k: int) -> Biplex:
     (Section 3.2).  The result is a maximal k-biplex whose right side is the
     whole of ``R``.
     """
+    if supports_masks(graph):
+        adj_left_mask = graph.adj_left_mask
+        full_right = (1 << graph.n_right) - 1
+        right_miss = [0] * graph.n_right
+        left_mask = 0
+        for v in range(graph.n_left):
+            missed = full_right & ~adj_left_mask(v)
+            if missed.bit_count() > k:
+                continue
+            if any(right_miss[u] + 1 > k for u in iter_bits(missed)):
+                continue
+            left_mask |= 1 << v
+            for u in iter_bits(missed):
+                right_miss[u] += 1
+        return Biplex.of(iter_bits(left_mask), range(graph.n_right))
     right_set = set(graph.right_vertices())
     left_set: Set[int] = set()
     for v in graph.left_vertices():
@@ -280,6 +445,21 @@ def initial_solution_left_anchored(graph: BipartiteGraph, k: int) -> Biplex:
 
 def initial_solution_right_anchored(graph: BipartiteGraph, k: int) -> Biplex:
     """The symmetric initial solution ``H0' = (L, R0)`` (footnote 1, Section 3.2)."""
+    if supports_masks(graph):
+        adj_right_mask = graph.adj_right_mask
+        full_left = (1 << graph.n_left) - 1
+        left_miss = [0] * graph.n_left
+        right_mask = 0
+        for u in range(graph.n_right):
+            missed = full_left & ~adj_right_mask(u)
+            if missed.bit_count() > k:
+                continue
+            if any(left_miss[v] + 1 > k for v in iter_bits(missed)):
+                continue
+            right_mask |= 1 << u
+            for v in iter_bits(missed):
+                left_miss[v] += 1
+        return Biplex.of(range(graph.n_left), iter_bits(right_mask))
     left_set = set(graph.left_vertices())
     right_set: Set[int] = set()
     for u in graph.right_vertices():

@@ -24,6 +24,7 @@ def btraversal_config(
     time_limit: Optional[float] = None,
     output_order: str = "pre",
     local_enumeration: str = "refined",
+    backend: str = "set",
 ) -> TraversalConfig:
     """The :class:`TraversalConfig` corresponding to bTraversal.
 
@@ -43,6 +44,7 @@ def btraversal_config(
         time_limit=time_limit,
         output_order=output_order,
         local_enumeration=local_enumeration,
+        backend=backend,
     )
 
 
@@ -67,6 +69,7 @@ class BTraversal:
         time_limit: Optional[float] = None,
         output_order: str = "pre",
         local_enumeration: str = "refined",
+        backend: str = "set",
     ) -> None:
         self.graph = graph
         self.k = k
@@ -79,6 +82,7 @@ class BTraversal:
                 time_limit=time_limit,
                 output_order=output_order,
                 local_enumeration=local_enumeration,
+                backend=backend,
             ),
         )
 

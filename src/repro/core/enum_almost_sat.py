@@ -38,7 +38,16 @@ from itertools import combinations
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph
-from .biplex import Biplex, can_add_left, can_add_right, is_k_biplex, is_maximal_k_biplex
+from ..graph.protocol import iter_bits, mask_of, supports_masks
+from .biplex import (
+    Biplex,
+    can_add_left,
+    can_add_left_masked,
+    can_add_right,
+    can_add_right_masked,
+    is_k_biplex,
+    is_maximal_k_biplex,
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,7 @@ def enum_local_solutions(
     config: EnumAlmostSatConfig = DEFAULT_CONFIG,
     min_right_size: int = 0,
     solution_right_missing: Optional[Dict[int, int]] = None,
+    solution_left_mask: Optional[int] = None,
 ) -> Iterator[Biplex]:
     """Enumerate all local solutions of the almost-satisfying graph ``(L ∪ {v}, R)``.
 
@@ -108,6 +118,10 @@ def enum_local_solutions(
         depend only on the solution ``(L, R)``, not on ``v``, so a caller
         that forms many almost-satisfying graphs from the same solution (the
         traversal engines) computes them once and passes them in.
+    solution_left_mask:
+        Optional packed form of ``left`` for mask-capable substrates; like
+        ``solution_right_missing`` it depends only on the solution, so the
+        traversal engines compute it once per solution.
 
     Yields
     ------
@@ -120,15 +134,26 @@ def enum_local_solutions(
     if v in left:
         raise ValueError("the new vertex must not already belong to the solution")
 
+    # Packed left side, used by the word-parallel fast paths below when the
+    # substrate exposes adjacency masks; ``None`` selects the set paths.
+    if solution_left_mask is not None:
+        left_mask: Optional[int] = solution_left_mask
+    else:
+        left_mask = mask_of(left) if supports_masks(graph) else None
+
     v_adjacency = graph.neighbors_of_left(v)
     r_keep = right & v_adjacency
     r_enum = sorted(right - v_adjacency)
 
     # Miss counts of the enumerable right vertices w.r.t. the *current* left side.
-    if solution_right_missing is None:
-        right_missing: Dict[int, int] = {u: graph.missing_right(u, left) for u in r_enum}
-    else:
+    if solution_right_missing is not None:
         right_missing = solution_right_missing
+    elif left_mask is not None:
+        right_missing = {
+            u: (left_mask & ~graph.adj_right_mask(u)).bit_count() for u in r_enum
+        }
+    else:
+        right_missing: Dict[int, int] = {u: graph.missing_right(u, left) for u in r_enum}
     r1_enum = [u for u in r_enum if right_missing[u] <= k - 1]
     r2_enum = [u for u in r_enum if right_missing[u] >= k]
     r_enum_set = set(r_enum)
@@ -150,6 +175,7 @@ def enum_local_solutions(
             v,
             k,
             config.left_refinement,
+            left_mask=left_mask,
         )
 
 
@@ -185,6 +211,7 @@ def _enumerate_left_removals(
     v: int,
     k: int,
     left_refinement: int,
+    left_mask: Optional[int] = None,
 ) -> Iterator[Biplex]:
     """Enumerate removal sets from ``L`` for a fixed right side ``R'``.
 
@@ -192,23 +219,40 @@ def _enumerate_left_removals(
     vertices of ``L`` (and also miss ``v``), i.e. the vertices that force at
     least one left removal each.  The verification of each candidate is
     incremental (see :func:`_is_local_solution`): only the vertices whose
-    constraints can actually have changed are re-checked.
+    constraints can actually have changed are re-checked.  When ``left_mask``
+    is given the substrate exposes adjacency masks and the verification runs
+    on packed vertex sets instead.
     """
+    r_prime_mask = mask_of(r_prime) if left_mask is not None else None
+
     if not r2_selected:
         # (L ∪ {v}, R') is already a k-biplex; the only candidate removal is ∅.
         candidate_left = set(left)
         candidate_left.add(v)
-        if _is_local_solution(
-            graph,
-            candidate_left,
-            r_prime,
-            frozenset(),
-            r_double_prime,
-            r_enum_set,
-            right_missing,
-            v,
-            k,
-        ):
+        if left_mask is not None:
+            accepted = _is_local_solution_masked(
+                graph,
+                left_mask | (1 << v),
+                r_prime_mask,
+                0,
+                r_double_prime,
+                r_enum_set,
+                right_missing,
+                k,
+            )
+        else:
+            accepted = _is_local_solution(
+                graph,
+                candidate_left,
+                r_prime,
+                frozenset(),
+                r_double_prime,
+                r_enum_set,
+                right_missing,
+                v,
+                k,
+            )
+        if accepted:
             yield Biplex.of(candidate_left, r_prime)
         return
 
@@ -216,10 +260,16 @@ def _enumerate_left_removals(
     # L_remo: left vertices with at least one non-neighbour in R''₂
     # (Section 4.3).  Collected from the R''₂ side, which is at most k
     # vertices, instead of scanning all of L.
-    removal_candidates: Set[int] = set()
-    for u in r2_set:
-        removal_candidates |= left - graph.neighbors_of_right(u)
-    removal_pool = sorted(removal_candidates)
+    if left_mask is not None:
+        removal_candidates_mask = 0
+        for u in r2_set:
+            removal_candidates_mask |= left_mask & ~graph.adj_right_mask(u)
+        removal_pool = list(iter_bits(removal_candidates_mask))
+    else:
+        removal_candidates: Set[int] = set()
+        for u in r2_set:
+            removal_candidates |= left - graph.neighbors_of_right(u)
+        removal_pool = sorted(removal_candidates)
     budget = min(len(r2_selected), k, len(removal_pool))
     successful_removals: List[Set[int]] = []
     for size in range(budget + 1):
@@ -229,18 +279,33 @@ def _enumerate_left_removals(
                 prior <= removal_set for prior in successful_removals
             ):
                 continue
-            candidate_left = (left - removal_set) | {v}
-            if _is_local_solution(
-                graph,
-                candidate_left,
-                r_prime,
-                removal_set,
-                r_double_prime,
-                r_enum_set,
-                right_missing,
-                v,
-                k,
-            ):
+            if left_mask is not None:
+                removal_mask = mask_of(removal)
+                accepted = _is_local_solution_masked(
+                    graph,
+                    (left_mask & ~removal_mask) | (1 << v),
+                    r_prime_mask,
+                    removal_mask,
+                    r_double_prime,
+                    r_enum_set,
+                    right_missing,
+                    k,
+                )
+                candidate_left = (left - removal_set) | {v} if accepted else None
+            else:
+                candidate_left = (left - removal_set) | {v}
+                accepted = _is_local_solution(
+                    graph,
+                    candidate_left,
+                    r_prime,
+                    removal_set,
+                    r_double_prime,
+                    r_enum_set,
+                    right_missing,
+                    v,
+                    k,
+                )
+            if accepted:
                 successful_removals.append(removal_set)
                 yield Biplex.of(candidate_left, r_prime)
 
@@ -288,6 +353,42 @@ def _is_local_solution(
     if len(r_double_prime) < k:
         for u in r_enum_set - r_double_prime:
             if can_add_right(graph, candidate_left, candidate_right, u, k):
+                return False
+    return True
+
+
+def _is_local_solution_masked(
+    graph,
+    candidate_left_mask: int,
+    candidate_right_mask: int,
+    removal_mask: int,
+    r_double_prime: Set[int],
+    r_enum_set: Set[int],
+    right_missing: Dict[int, int],
+    k: int,
+) -> bool:
+    """Bitmask twin of :func:`_is_local_solution` (same three checks).
+
+    The removed-non-neighbour counts and the two maximality sweeps operate
+    on packed vertex sets, so each per-vertex probe is a handful of
+    word-parallel bitwise operations instead of Python set arithmetic.
+    """
+    adj_right_mask = graph.adj_right_mask
+    # (1) k-biplex predicate, restricted to the vertices that can violate it.
+    for u in r_double_prime:
+        removed_non_neighbors = (
+            (removal_mask & ~adj_right_mask(u)).bit_count() if removal_mask else 0
+        )
+        if right_missing[u] - removed_non_neighbors + 1 > k:
+            return False
+    # (2) Left-side local maximality: no removed vertex can be added back.
+    for w in iter_bits(removal_mask):
+        if can_add_left_masked(graph, candidate_left_mask, candidate_right_mask, w, k):
+            return False
+    # (3) Right-side local maximality: only possible when v has slack.
+    if len(r_double_prime) < k:
+        for u in r_enum_set - r_double_prime:
+            if can_add_right_masked(graph, candidate_left_mask, candidate_right_mask, u, k):
                 return False
     return True
 

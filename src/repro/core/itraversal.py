@@ -29,6 +29,7 @@ def itraversal_config(
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
     output_order: str = "pre",
+    backend: str = "set",
 ) -> TraversalConfig:
     """Build the :class:`TraversalConfig` of iTraversal or one of its ablations."""
     return TraversalConfig(
@@ -42,6 +43,7 @@ def itraversal_config(
         max_results=max_results,
         time_limit=time_limit,
         output_order=output_order,
+        backend=backend,
     )
 
 
@@ -63,8 +65,9 @@ class ITraversal:
         symmetric ``H0' = (L, R0)`` by mirroring the graph.
     theta_left, theta_right:
         Large-MBP size thresholds (Section 5); 0 disables them.
-    max_results, time_limit, output_order, enum_config:
-        Passed through to the traversal engine.
+    max_results, time_limit, output_order, enum_config, backend:
+        Passed through to the traversal engine (``backend="bitset"``
+        converts the graph to the bitmask substrate for the hot paths).
 
     Examples
     --------
@@ -93,6 +96,7 @@ class ITraversal:
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
         output_order: str = "pre",
+        backend: str = "set",
     ) -> None:
         if variant not in self.VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {sorted(self.VARIANTS)}")
@@ -117,6 +121,7 @@ class ITraversal:
             max_results=max_results,
             time_limit=time_limit,
             output_order=output_order,
+            backend=backend,
         )
         self._engine = ReverseSearchEngine(working_graph, k, config)
 
@@ -157,13 +162,19 @@ def enumerate_mbps(
     variant: str = "full",
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
+    backend: str = "set",
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate maximal k-biplexes with iTraversal; the main library entry point.
 
     Returns the list of solutions together with the run statistics.
     """
     algorithm = ITraversal(
-        graph, k, variant=variant, max_results=max_results, time_limit=time_limit
+        graph,
+        k,
+        variant=variant,
+        max_results=max_results,
+        time_limit=time_limit,
+        backend=backend,
     )
     solutions = algorithm.enumerate()
     return solutions, algorithm.stats
@@ -176,6 +187,7 @@ def enumerate_large_mbps(
     use_core_preprocessing: bool = True,
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
+    backend: str = "set",
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate MBPs whose two sides both have at least ``theta`` vertices.
 
@@ -193,6 +205,7 @@ def enumerate_large_mbps(
         use_core_preprocessing=use_core_preprocessing,
         max_results=max_results,
         time_limit=time_limit,
+        backend=backend,
     )
     solutions = enumerator.enumerate()
     return solutions, enumerator.stats

@@ -56,6 +56,7 @@ class LargeMBPEnumerator:
         enum_config: EnumAlmostSatConfig = DEFAULT_CONFIG,
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
+        backend: str = "set",
     ) -> None:
         self.graph = graph
         self.k = k
@@ -86,6 +87,7 @@ class LargeMBPEnumerator:
             theta_right=self.theta_right,
             max_results=max_results,
             time_limit=time_limit,
+            backend=backend,
         )
 
     @property

@@ -23,9 +23,11 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph, MirrorView
+from ..graph.protocol import BACKENDS, as_backend, mask_of, supports_masks
 from .biplex import (
     Biplex,
     arbitrary_initial_solution,
+    can_add_right_masked,
     extend_to_maximal,
     initial_solution_left_anchored,
 )
@@ -68,6 +70,12 @@ class TraversalConfig:
         ``"pre"`` yields a solution as soon as it is discovered;
         ``"alternate"`` applies the alternating-output trick of Uno (2003)
         that turns the total-time bound into a polynomial *delay* bound.
+    backend:
+        Adjacency substrate the engine runs on: ``"set"`` (the input graph
+        as-is) or ``"bitset"`` (the graph is converted to a
+        :class:`~repro.graph.bitset.BitsetBipartiteGraph` and the
+        word-parallel bitmask fast paths kick in).  Both backends enumerate
+        identical solution sets in identical order.
     """
 
     left_anchored: bool = True
@@ -80,6 +88,7 @@ class TraversalConfig:
     max_results: Optional[int] = None
     time_limit: Optional[float] = None
     output_order: str = "pre"
+    backend: str = "set"
     local_enumeration: str = "refined"
     """How EnumAlmostSat is implemented: ``"refined"`` uses the Section 4
     algorithm (levels set by ``enum_config``); ``"inflation"`` inflates each
@@ -95,6 +104,8 @@ class TraversalConfig:
             raise ValueError("size thresholds must be non-negative")
         if self.local_enumeration not in ("refined", "inflation"):
             raise ValueError("local_enumeration must be 'refined' or 'inflation'")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
 
 
 @dataclass
@@ -131,9 +142,10 @@ class ReverseSearchEngine:
     ) -> None:
         if k < 1:
             raise ValueError("k must be a positive integer")
-        self.graph = graph
-        self.k = k
         self.config = config or TraversalConfig()
+        self.graph = as_backend(graph, self.config.backend)
+        self._masked = supports_masks(self.graph)
+        self.k = k
         self.stats = TraversalStats()
         self._visited: Set[Biplex] = set()
         self._start_time = 0.0
@@ -151,14 +163,18 @@ class ReverseSearchEngine:
         self._start_time = time.perf_counter()
         self.stats = TraversalStats()
         self._visited = set()
-        initial = self._initial_solution()
-        self._visited.add(initial)
-        self.stats.num_solutions += 1
+        # The ``finally`` keeps the stats finalized even when the caller
+        # abandons the generator mid-run (early ``break`` / ``close()``),
+        # which unwinds through here as GeneratorExit.
         try:
+            initial = self._initial_solution()
+            self._visited.add(initial)
+            self.stats.num_solutions += 1
             yield from self._dfs(initial)
         except _LimitReached:
             pass
-        self.stats.elapsed_seconds = time.perf_counter() - self._start_time
+        finally:
+            self.stats.elapsed_seconds = time.perf_counter() - self._start_time
 
     def enumerate(self) -> List[Biplex]:
         """Run the traversal to completion and return all solutions as a list."""
@@ -268,10 +284,20 @@ class ReverseSearchEngine:
         ):
             return
 
-        # δ̄(u, L) for every u ∈ R depends only on the solution, not on the
-        # candidate vertex; computing it once here saves a factor |L| inside
-        # EnumAlmostSat (see enum_local_solutions' solution_right_missing).
-        right_missing = {u: len(left - self.graph.neighbors_of_right(u)) for u in right}
+        # δ̄(u, L) for every u ∈ R and the packed left side depend only on
+        # the solution, not on the candidate vertex; computing them once here
+        # saves a factor |L| inside EnumAlmostSat (see enum_local_solutions'
+        # solution_right_missing / solution_left_mask).
+        left_mask = mask_of(left) if self._masked else None
+        if left_mask is not None:
+            adj_right_mask = self.graph.adj_right_mask
+            right_missing = {
+                u: (left_mask & ~adj_right_mask(u)).bit_count() for u in right
+            }
+        else:
+            right_missing = {
+                u: len(left - self.graph.neighbors_of_right(u)) for u in right
+            }
 
         processed: List[int] = []
         for side, vertex in self._candidate_vertices(solution):
@@ -291,7 +317,7 @@ class ReverseSearchEngine:
             child_exclusion = (
                 frozenset(exclusion | set(processed)) if config.exclusion else frozenset()
             )
-            for local in self._local_solutions(solution, side, vertex, right_missing):
+            for local in self._local_solutions(solution, side, vertex, right_missing, left_mask):
                 self.stats.num_local_solutions += 1
                 # The local solution's vertices are a subset of the extended
                 # child's, so an exclusion hit here already rules the child
@@ -325,7 +351,7 @@ class ReverseSearchEngine:
                     yield ("R", u)
 
     def _local_solutions(
-        self, solution: Biplex, side: str, vertex: int, right_missing=None
+        self, solution: Biplex, side: str, vertex: int, right_missing=None, left_mask=None
     ) -> Iterator[Biplex]:
         """Step 2: EnumAlmostSat on the almost-satisfying graph ``G[H ∪ {vertex}]``."""
         min_right = (
@@ -351,6 +377,7 @@ class ReverseSearchEngine:
                 config=self.config.enum_config,
                 min_right_size=min_right,
                 solution_right_missing=right_missing,
+                solution_left_mask=left_mask,
             )
             return
         # Right-side candidate (bTraversal only): run the same procedure on
@@ -394,26 +421,50 @@ class ReverseSearchEngine:
         left vertices of the local solution, so when ``|L| > k`` they are
         found by counting adjacencies from the local solution's left side
         (proportional to its incident edges) rather than scanning all of R.
+        When ``|L| <= k`` even a right vertex with *no* neighbour in ``L``
+        may be addable (it misses all of ``L``, which the slack allows), but
+        all such vertices pass or fail the addability test identically — so
+        one representative stands in for them and the scan stays proportional
+        to the local solution's incident edges instead of to ``|R|``.
+
+        The candidate pre-filter is backend-independent; only the final
+        addability probe dispatches on the mask capability.
         """
+        graph = self.graph
+        k = self.k
+        left = local.left
+        right = local.right
+        counts: dict = {}
+        for v in left:
+            for u in graph.neighbors_of_left(v):
+                counts[u] = counts.get(u, 0) + 1
+        threshold = max(len(left) - k, 1)
+        candidates = [
+            u for u, count in counts.items() if count >= threshold and u not in right
+        ]
+        if len(left) <= k:
+            representative = next(
+                (
+                    u
+                    for u in graph.right_vertices()
+                    if u not in right and u not in counts
+                ),
+                None,
+            )
+            if representative is not None:
+                candidates.append(representative)
+        if self._masked:
+            left_mask = mask_of(left)
+            right_mask = mask_of(right)
+            return any(
+                can_add_right_masked(graph, left_mask, right_mask, u, k)
+                for u in candidates
+            )
         from .biplex import can_add_right
 
-        left = set(local.left)
-        right = set(local.right)
-        if len(left) > self.k:
-            counts: dict = {}
-            for v in left:
-                for u in self.graph.neighbors_of_left(v):
-                    counts[u] = counts.get(u, 0) + 1
-            threshold = len(left) - self.k
-            candidates = (
-                u for u, count in counts.items() if count >= threshold and u not in right
-            )
-        else:
-            candidates = (u for u in self.graph.right_vertices() if u not in right)
-        for u in candidates:
-            if can_add_right(self.graph, left, right, u, self.k):
-                return True
-        return False
+        left_set = set(left)
+        right_set = set(right)
+        return any(can_add_right(graph, left_set, right_set, u, k) for u in candidates)
 
 
 def run_with_stats(

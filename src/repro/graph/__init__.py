@@ -1,6 +1,7 @@
 """Graph substrates: bipartite graphs, general graphs, generators, cores, I/O."""
 
 from .bipartite import BipartiteGraph, Side, freeze, paper_example_graph, sorted_tuple
+from .bitset import BitsetBipartiteGraph
 from .cores import alpha_beta_core, alpha_beta_core_subgraph, theta_core_for_large_mbps
 from .general import Graph
 from .generators import (
@@ -13,9 +14,26 @@ from .generators import (
 )
 from .inflate import inflate, inflated_edge_count, join_vertex_sets, split_vertex_set
 from .io import read_edge_list, read_konect, write_edge_list, write_konect
+from .protocol import (
+    BACKENDS,
+    BipartiteSubstrate,
+    MaskedBipartiteSubstrate,
+    as_backend,
+    iter_bits,
+    mask_of,
+    supports_masks,
+)
 
 __all__ = [
     "BipartiteGraph",
+    "BitsetBipartiteGraph",
+    "BipartiteSubstrate",
+    "MaskedBipartiteSubstrate",
+    "BACKENDS",
+    "as_backend",
+    "iter_bits",
+    "mask_of",
+    "supports_masks",
     "Side",
     "Graph",
     "FraudInjection",

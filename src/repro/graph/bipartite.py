@@ -16,7 +16,11 @@ algorithms:
 * cheap iteration over both sides.
 
 Adjacency is stored as one ``set`` per vertex per side, which makes the
-membership tests that dominate the k-biplex predicates O(1).
+membership tests that dominate the k-biplex predicates O(1).  A bitmask
+backend with word-parallel intersections lives in
+:class:`repro.graph.bitset.BitsetBipartiteGraph`; see
+:mod:`repro.graph.protocol` for the substrate protocol both implement and
+:meth:`BipartiteGraph.to_bitset` for the conversion.
 """
 
 from __future__ import annotations
@@ -253,7 +257,7 @@ class BipartiteGraph:
         right_ids = sorted(set(right_subset))
         left_index = {original: new for new, original in enumerate(left_ids)}
         right_index = {original: new for new, original in enumerate(right_ids)}
-        subgraph = BipartiteGraph(len(left_ids), len(right_ids))
+        subgraph = type(self)(len(left_ids), len(right_ids))
         for original_left in left_ids:
             adjacency = self._adj_left[original_left]
             for original_right in right_ids:
@@ -268,19 +272,31 @@ class BipartiteGraph:
                 yield (left_vertex, right_vertex)
 
     def copy(self) -> "BipartiteGraph":
-        """Return a deep copy of the graph."""
-        return BipartiteGraph(self._n_left, self._n_right, self.edges())
+        """Return a deep copy of the graph (preserving the backend)."""
+        return type(self)(self._n_left, self._n_right, self.edges())
 
     def swap_sides(self) -> "BipartiteGraph":
-        """Return a graph with the two sides exchanged.
+        """Return a graph with the two sides exchanged (preserving the backend).
 
         Used by the *right-anchored* traversal variant, which is the mirror
         image of the left-anchored traversal described in the paper.
         """
-        swapped = BipartiteGraph(self._n_right, self._n_left)
+        swapped = type(self)(self._n_right, self._n_left)
         for left_vertex, right_vertex in self.edges():
             swapped.add_edge(right_vertex, left_vertex)
         return swapped
+
+    def to_bitset(self) -> "BipartiteGraph":
+        """Return a bitset-backed copy of this graph.
+
+        The returned :class:`repro.graph.bitset.BitsetBipartiteGraph`
+        compares equal to ``self`` and answers every set query identically,
+        but additionally exposes per-vertex adjacency bitmasks that the core
+        algorithms exploit for word-parallel fast paths.
+        """
+        from .bitset import BitsetBipartiteGraph
+
+        return BitsetBipartiteGraph(self._n_left, self._n_right, self.edges())
 
     # ------------------------------------------------------------------ #
     # Dunder / helpers
@@ -406,6 +422,17 @@ class MirrorView:
 
     def missing_right(self, right_vertex: int, left_subset: Iterable[int]) -> int:
         return self._graph.missing_left(right_vertex, left_subset)
+
+    # -- adjacency-mask capability, forwarded with the sides exchanged ---- #
+    @property
+    def supports_masks(self) -> bool:
+        return bool(getattr(self._graph, "supports_masks", False))
+
+    def adj_left_mask(self, left_vertex: int) -> int:
+        return self._graph.adj_right_mask(left_vertex)
+
+    def adj_right_mask(self, right_vertex: int) -> int:
+        return self._graph.adj_left_mask(right_vertex)
 
 
 VertexSet = FrozenSet[int]

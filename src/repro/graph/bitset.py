@@ -1,0 +1,116 @@
+"""Bitset-backed bipartite graph substrate.
+
+:class:`BitsetBipartiteGraph` stores, next to the per-vertex adjacency sets
+of :class:`~repro.graph.bipartite.BipartiteGraph`, one arbitrary-precision
+Python ``int`` bitmask per vertex per side: bit ``u`` of ``adj_left_mask(v)``
+is set iff ``(v, u)`` is an edge, and symmetrically for the right side.
+
+The mask representation makes the predicates that dominate the enumeration
+algorithms word-parallel:
+
+* ``Γ(v, S)`` becomes ``adj_left_mask(v) & mask_of(S)``,
+* ``δ̄(v, S)`` becomes ``(mask_of(S) & ~adj_left_mask(v)).bit_count()``,
+* the ``can_add_left/right`` checks walk only the set bits of a small
+  "missed" mask instead of scanning a Python set per candidate.
+
+The class keeps the exact public API of ``BipartiteGraph`` (it *is* one), so
+every existing algorithm runs unchanged on it; the core modules additionally
+detect the mask capability via :func:`repro.graph.protocol.supports_masks`
+and switch to the bitwise fast paths.  Both backends enumerate identical
+solution sets — the fast paths are checked against the set implementation by
+the backend-equivalence test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import List, Tuple
+
+from .bipartite import BipartiteGraph
+
+
+class BitsetBipartiteGraph(BipartiteGraph):
+    """A :class:`BipartiteGraph` that also maintains adjacency bitmasks.
+
+    Examples
+    --------
+    >>> g = BitsetBipartiteGraph(2, 3, edges=[(0, 0), (0, 2), (1, 1)])
+    >>> bin(g.adj_left_mask(0))
+    '0b101'
+    >>> g.adj_right_mask(1)
+    2
+    >>> g == BipartiteGraph(2, 3, edges=[(0, 0), (0, 2), (1, 1)])
+    True
+    """
+
+    __slots__ = ("_left_masks", "_right_masks")
+
+    #: Capability flag: tells the algorithms the bitwise fast paths apply.
+    supports_masks = True
+
+    def __init__(
+        self,
+        n_left: int,
+        n_right: int,
+        edges: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        # The masks must exist before the base constructor replays ``edges``
+        # through our ``add_edge`` override.
+        self._left_masks: List[int] = [0] * max(n_left, 0)
+        self._right_masks: List[int] = [0] * max(n_right, 0)
+        super().__init__(n_left, n_right, edges)
+
+    # ------------------------------------------------------------------ #
+    # Mask accessors (hot path: no bounds checks beyond list indexing)
+    # ------------------------------------------------------------------ #
+    def adj_left_mask(self, left_vertex: int) -> int:
+        """Bitmask over right ids of the neighbours of ``left_vertex``."""
+        return self._left_masks[left_vertex]
+
+    def adj_right_mask(self, right_vertex: int) -> int:
+        """Bitmask over left ids of the neighbours of ``right_vertex``."""
+        return self._right_masks[right_vertex]
+
+    @property
+    def full_left_mask(self) -> int:
+        """Mask with one bit per left vertex (the left universe ``L``)."""
+        return (1 << self._n_left) - 1
+
+    @property
+    def full_right_mask(self) -> int:
+        """Mask with one bit per right vertex (the right universe ``R``)."""
+        return (1 << self._n_right) - 1
+
+    # ------------------------------------------------------------------ #
+    # Mutation (keeps sets and masks in lock-step)
+    # ------------------------------------------------------------------ #
+    def add_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        if not super().add_edge(left_vertex, right_vertex):
+            return False
+        self._left_masks[left_vertex] |= 1 << right_vertex
+        self._right_masks[right_vertex] |= 1 << left_vertex
+        return True
+
+    def remove_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        if not super().remove_edge(left_vertex, right_vertex):
+            return False
+        self._left_masks[left_vertex] &= ~(1 << right_vertex)
+        self._right_masks[right_vertex] &= ~(1 << left_vertex)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_bitset(self) -> "BitsetBipartiteGraph":
+        """Already bitset-backed: return ``self`` (no copy)."""
+        return self
+
+    def to_setgraph(self) -> BipartiteGraph:
+        """A plain set-backed copy (useful for backend benchmarking)."""
+        return BipartiteGraph(self._n_left, self._n_right, self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitsetBipartiteGraph(n_left={self._n_left}, n_right={self._n_right}, "
+            f"num_edges={self._num_edges})"
+        )

@@ -1,0 +1,108 @@
+"""The bipartite graph *substrate* protocol and bitmask helpers.
+
+The enumeration algorithms never depend on a concrete graph class — they
+only use the query surface below: side sizes, adjacency sets and the
+Γ / δ̄ primitives of Section 2.  Any object implementing
+:class:`BipartiteSubstrate` (``BipartiteGraph``, ``BitsetBipartiteGraph``,
+``MirrorView``) can be handed to the traversal engines.
+
+A substrate may additionally advertise *adjacency masks*: one Python ``int``
+per vertex whose set bits are the neighbour ids on the other side.  Masks
+turn the hot predicates — ``Γ(v, S)`` intersections, ``δ̄(v, S)`` counts,
+``can_add_left/right`` — into word-parallel bitwise operations
+(``&``/``~``/``int.bit_count``), which is where the BBK (Baudin et al.,
+2024) and symmetric-BK (Yu & Long, 2022) implementations get their
+constant-factor speedups from.  Algorithms test for the capability with
+:func:`supports_masks` and fall back to set arithmetic otherwise, so the
+two backends always produce identical solution sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, Set, runtime_checkable
+
+#: Names accepted by :func:`as_backend` and ``TraversalConfig.backend``.
+BACKENDS = ("set", "bitset")
+
+
+@runtime_checkable
+class BipartiteSubstrate(Protocol):
+    """Query surface the enumeration algorithms require of a graph."""
+
+    @property
+    def n_left(self) -> int: ...
+
+    @property
+    def n_right(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def left_vertices(self) -> Iterable[int]: ...
+
+    def right_vertices(self) -> Iterable[int]: ...
+
+    def has_edge(self, left_vertex: int, right_vertex: int) -> bool: ...
+
+    def neighbors_of_left(self, left_vertex: int) -> Set[int]: ...
+
+    def neighbors_of_right(self, right_vertex: int) -> Set[int]: ...
+
+    def gamma_left(self, left_vertex: int, right_subset: Iterable[int]) -> Set[int]: ...
+
+    def gamma_right(self, right_vertex: int, left_subset: Iterable[int]) -> Set[int]: ...
+
+    def missing_left(self, left_vertex: int, right_subset: Iterable[int]) -> int: ...
+
+    def missing_right(self, right_vertex: int, left_subset: Iterable[int]) -> int: ...
+
+
+@runtime_checkable
+class MaskedBipartiteSubstrate(BipartiteSubstrate, Protocol):
+    """A substrate that additionally exposes per-vertex adjacency bitmasks."""
+
+    #: Capability flag checked by :func:`supports_masks`.
+    supports_masks: bool
+
+    def adj_left_mask(self, left_vertex: int) -> int:
+        """Bitmask over right ids: bit ``u`` is set iff ``(v, u)`` is an edge."""
+        ...
+
+    def adj_right_mask(self, right_vertex: int) -> int:
+        """Bitmask over left ids: bit ``v`` is set iff ``(v, u)`` is an edge."""
+        ...
+
+
+def supports_masks(graph: object) -> bool:
+    """Whether ``graph`` advertises the adjacency-mask capability."""
+    return bool(getattr(graph, "supports_masks", False))
+
+
+def mask_of(vertex_ids: Iterable[int]) -> int:
+    """Pack an iterable of vertex ids into a bitmask."""
+    mask = 0
+    for vertex in vertex_ids:
+        mask |= 1 << vertex
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def as_backend(graph, backend: str):
+    """Return ``graph`` converted to the requested adjacency ``backend``.
+
+    ``"set"`` is a no-op (every substrate answers set queries); ``"bitset"``
+    converts via ``graph.to_bitset()`` unless the graph already exposes
+    masks.  Raises :class:`ValueError` for unknown backend names.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "bitset" and not supports_masks(graph):
+        return graph.to_bitset()
+    return graph

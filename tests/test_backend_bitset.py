@@ -1,0 +1,239 @@
+"""Tests for the bitset substrate and set/bitset backend equivalence."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BTraversal,
+    ITraversal,
+    TraversalConfig,
+    can_add_left,
+    can_add_left_masked,
+    can_add_right,
+    can_add_right_masked,
+    extend_to_maximal,
+    initial_solution_left_anchored,
+    initial_solution_right_anchored,
+    is_k_biplex,
+    run_with_stats,
+)
+from repro.graph import (
+    BitsetBipartiteGraph,
+    as_backend,
+    iter_bits,
+    mask_of,
+    supports_masks,
+)
+from repro.graph import erdos_renyi_bipartite
+from repro.graph.bipartite import MirrorView
+
+
+def random_graphs(count, max_side=6, seed=0):
+    """A deterministic collection of small random graphs (as in conftest)."""
+    rng = random.Random(seed)
+    graphs = []
+    for index in range(count):
+        n_left = rng.randint(2, max_side)
+        n_right = rng.randint(2, max_side)
+        num_edges = rng.randint(1, n_left * n_right)
+        graphs.append(
+            erdos_renyi_bipartite(n_left, n_right, num_edges=num_edges, seed=seed * 1000 + index)
+        )
+    return graphs
+
+
+class TestBitsetGraph:
+    def test_masks_match_sets(self, example_graph):
+        graph = example_graph.to_bitset()
+        for v in graph.left_vertices():
+            assert set(iter_bits(graph.adj_left_mask(v))) == graph.neighbors_of_left(v)
+        for u in graph.right_vertices():
+            assert set(iter_bits(graph.adj_right_mask(u))) == graph.neighbors_of_right(u)
+
+    def test_to_bitset_preserves_graph(self, example_graph):
+        bitset = example_graph.to_bitset()
+        assert isinstance(bitset, BitsetBipartiteGraph)
+        assert bitset == example_graph
+        assert bitset.num_edges == example_graph.num_edges
+        assert supports_masks(bitset) and not supports_masks(example_graph)
+
+    def test_to_bitset_on_bitset_is_identity(self, example_graph):
+        bitset = example_graph.to_bitset()
+        assert bitset.to_bitset() is bitset
+
+    def test_to_setgraph_roundtrip(self, example_graph):
+        assert example_graph.to_bitset().to_setgraph() == example_graph
+
+    def test_add_and_remove_edge_update_masks(self):
+        graph = BitsetBipartiteGraph(2, 3)
+        assert graph.add_edge(0, 2) is True
+        assert graph.add_edge(0, 2) is False
+        assert graph.adj_left_mask(0) == 0b100
+        assert graph.adj_right_mask(2) == 0b01
+        assert graph.num_edges == 1
+        assert graph.remove_edge(0, 2) is True
+        assert graph.adj_left_mask(0) == 0
+        assert graph.adj_right_mask(2) == 0
+        assert graph.num_edges == 0
+
+    def test_universe_masks(self):
+        graph = BitsetBipartiteGraph(3, 5)
+        assert graph.full_left_mask == 0b111
+        assert graph.full_right_mask == 0b11111
+
+    def test_derived_graphs_stay_bitset(self, example_graph):
+        graph = example_graph.to_bitset()
+        assert isinstance(graph.copy(), BitsetBipartiteGraph)
+        assert isinstance(graph.swap_sides(), BitsetBipartiteGraph)
+        assert isinstance(graph.induced_subgraph([0, 4], [0, 1]), BitsetBipartiteGraph)
+        assert graph.swap_sides() == example_graph.swap_sides()
+        assert graph.induced_subgraph([0, 4], [0, 1]) == example_graph.induced_subgraph(
+            [0, 4], [0, 1]
+        )
+
+    def test_as_backend(self, example_graph):
+        assert as_backend(example_graph, "set") is example_graph
+        converted = as_backend(example_graph, "bitset")
+        assert supports_masks(converted)
+        assert as_backend(converted, "bitset") is converted
+        with pytest.raises(ValueError):
+            as_backend(example_graph, "numpy")
+
+    def test_mask_helpers_roundtrip(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+        assert list(iter_bits(0b100101)) == [0, 2, 5]
+        assert list(iter_bits(0)) == []
+
+
+class TestMirrorViewMasks:
+    def test_mirror_forwards_capability(self, example_graph):
+        assert not supports_masks(MirrorView(example_graph))
+        mirror = MirrorView(example_graph.to_bitset())
+        assert supports_masks(mirror)
+
+    def test_mirror_swaps_masks(self, example_graph):
+        graph = example_graph.to_bitset()
+        mirror = MirrorView(graph)
+        for u in graph.right_vertices():
+            assert mirror.adj_left_mask(u) == graph.adj_right_mask(u)
+        for v in graph.left_vertices():
+            assert mirror.adj_right_mask(v) == graph.adj_left_mask(v)
+
+
+class TestMaskedPrimitives:
+    """The masked twins must agree with the set-based primitives everywhere."""
+
+    def _subset_pairs(self, graph):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(20):
+            left = {v for v in graph.left_vertices() if rng.random() < 0.5}
+            right = {u for u in graph.right_vertices() if rng.random() < 0.5}
+            yield left, right
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_can_add_agrees(self, k):
+        for graph in random_graphs(4, max_side=6, seed=5):
+            bitset = graph.to_bitset()
+            for left, right in self._subset_pairs(graph):
+                left_mask, right_mask = mask_of(left), mask_of(right)
+                for v in graph.left_vertices():
+                    assert can_add_left_masked(
+                        bitset, left_mask, right_mask, v, k
+                    ) == can_add_left(graph, set(left), set(right), v, k)
+                for u in graph.right_vertices():
+                    assert can_add_right_masked(
+                        bitset, left_mask, right_mask, u, k
+                    ) == can_add_right(graph, set(left), set(right), u, k)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_is_k_biplex_agrees(self, k):
+        for graph in random_graphs(4, max_side=6, seed=6):
+            bitset = graph.to_bitset()
+            for left, right in self._subset_pairs(graph):
+                assert is_k_biplex(bitset, left, right, k) == is_k_biplex(
+                    graph, left, right, k
+                )
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_extend_to_maximal_identical(self, k):
+        for graph in random_graphs(4, max_side=6, seed=7):
+            bitset = graph.to_bitset()
+            for left, right in self._subset_pairs(graph):
+                if not is_k_biplex(graph, left, right, k):
+                    continue
+                assert extend_to_maximal(bitset, left, right, k) == extend_to_maximal(
+                    graph, left, right, k
+                )
+                assert extend_to_maximal(
+                    bitset, left, right, k, candidate_right=()
+                ) == extend_to_maximal(graph, left, right, k, candidate_right=())
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_initial_solutions_identical(self, k):
+        for graph in random_graphs(6, max_side=6, seed=8):
+            bitset = graph.to_bitset()
+            assert initial_solution_left_anchored(bitset, k) == initial_solution_left_anchored(
+                graph, k
+            )
+            assert initial_solution_right_anchored(bitset, k) == initial_solution_right_anchored(
+                graph, k
+            )
+
+
+class TestBackendEquivalence:
+    """Property-style check: both backends enumerate identical MBP sets."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_itraversal_backends_agree(self, k):
+        for graph in random_graphs(6, max_side=6, seed=1):
+            expected = sorted(s.key() for s in ITraversal(graph, k).enumerate())
+            got = sorted(s.key() for s in ITraversal(graph, k, backend="bitset").enumerate())
+            assert got == expected
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_btraversal_backends_agree(self, k):
+        for graph in random_graphs(6, max_side=6, seed=2):
+            expected = sorted(s.key() for s in BTraversal(graph, k).enumerate())
+            got = sorted(s.key() for s in BTraversal(graph, k, backend="bitset").enumerate())
+            assert got == expected
+
+    @pytest.mark.parametrize("variant", ["full", "no-exclusion", "left-anchored-only"])
+    def test_variants_agree_on_example(self, example_graph, variant):
+        expected = set(ITraversal(example_graph, 1, variant=variant).enumerate())
+        got = set(ITraversal(example_graph, 1, variant=variant, backend="bitset").enumerate())
+        assert got == expected
+
+    def test_bitset_input_graph_used_directly(self, example_graph):
+        bitset = example_graph.to_bitset()
+        expected = set(ITraversal(example_graph, 1).enumerate())
+        assert set(ITraversal(bitset, 1).enumerate()) == expected
+
+    def test_stats_counters_identical(self, example_graph):
+        _, set_stats = run_with_stats(example_graph, 1, TraversalConfig(backend="set"))
+        _, bitset_stats = run_with_stats(example_graph, 1, TraversalConfig(backend="bitset"))
+        assert set_stats.num_solutions == bitset_stats.num_solutions
+        assert set_stats.num_links == bitset_stats.num_links
+        assert set_stats.num_almost_sat_graphs == bitset_stats.num_almost_sat_graphs
+        assert set_stats.num_local_solutions == bitset_stats.num_local_solutions
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            TraversalConfig(backend="gpu")
+
+
+class TestCliBackend:
+    def test_enumerate_with_bitset_backend(self, tmp_path, capsys, example_graph):
+        from repro.cli import main
+        from repro.graph import write_edge_list
+
+        path = tmp_path / "graph.txt"
+        write_edge_list(example_graph, path)
+        assert main(["enumerate", "--input", str(path), "--backend", "bitset", "--quiet"]) == 0
+        bitset_out = capsys.readouterr().out
+        assert main(["enumerate", "--input", str(path), "--quiet"]) == 0
+        set_out = capsys.readouterr().out
+        # Identical solution counts; only the timing figure may differ.
+        assert bitset_out.split("elapsed")[0] == set_out.split("elapsed")[0]

@@ -31,6 +31,19 @@ class TestConstruction:
         graph = BipartiteGraph(2, 2, edges=[(0, 0), (0, 0), (0, 0)])
         assert graph.num_edges == 1
 
+    def test_duplicate_edges_do_not_skew_density(self):
+        # Regression: duplicate insertions must be idempotent — _num_edges
+        # (and therefore edge_density) may only count distinct edges.
+        graph = BipartiteGraph(2, 3, edges=[(0, 0), (1, 1), (0, 0), (1, 1), (0, 0)])
+        assert graph.num_edges == 2
+        assert graph.edge_density == pytest.approx(2 / 5)
+        for _ in range(3):
+            assert graph.add_edge(0, 0) is False
+        assert graph.num_edges == 2
+        assert graph.edge_density == pytest.approx(2 / 5)
+        assert graph.degree_of_left(0) == 1
+        assert graph.degree_of_right(0) == 1
+
     def test_zero_vertex_graph(self):
         graph = BipartiteGraph(0, 0)
         assert graph.num_vertices == 0

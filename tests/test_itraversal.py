@@ -117,6 +117,23 @@ class TestLimits:
         first = next(iterator)
         assert isinstance(first, Biplex)
 
+    def test_early_break_finalizes_stats(self, example_graph):
+        # Regression: abandoning the generator mid-run (early break /
+        # close()) used to leave stats.elapsed_seconds at 0.0 because the
+        # finalization line after the DFS never executed.
+        algorithm = ITraversal(example_graph, 1)
+        iterator = algorithm.run()
+        next(iterator)
+        iterator.close()
+        assert algorithm.stats.elapsed_seconds > 0.0
+        assert algorithm.stats.num_reported == 1
+
+    def test_early_break_in_for_loop_finalizes_stats(self, example_graph):
+        algorithm = ITraversal(example_graph, 1)
+        for _ in algorithm.run():
+            break
+        assert algorithm.stats.elapsed_seconds > 0.0
+
     def test_stats_counts(self, example_graph):
         algorithm = ITraversal(example_graph, 1)
         solutions = algorithm.enumerate()
@@ -125,6 +142,44 @@ class TestLimits:
         assert stats.num_solutions == len(solutions)
         assert stats.num_links >= stats.num_solutions - 1
         assert stats.elapsed_seconds > 0
+
+
+class TestRightExtensible:
+    """The right-shrinking test must match a brute-force scan over all of R.
+
+    In particular the ``len(left) <= k`` regime (where even a right vertex
+    with no neighbour in ``left`` may be addable) used to fall back to
+    scanning every right vertex of G; it now tests a single zero-adjacency
+    representative, which must not change any answer.
+    """
+
+    @pytest.mark.parametrize("k", [1, 3])
+    @pytest.mark.parametrize("backend", ["set", "bitset"])
+    def test_matches_bruteforce_scan(self, k, backend):
+        import random
+
+        from repro.core import can_add_right
+        from repro.core.traversal import ReverseSearchEngine, TraversalConfig
+        from repro.graph.bipartite import subsets_within_budget
+
+        rng = random.Random(11)
+        graphs = [
+            erdos_renyi_bipartite(
+                rng.randint(2, 5), rng.randint(2, 5), num_edges=rng.randint(1, 4), seed=index
+            )
+            for index in range(4)
+        ]
+        for graph in graphs:
+            engine = ReverseSearchEngine(graph, k, TraversalConfig(backend=backend))
+            for left in subsets_within_budget(list(graph.left_vertices()), k + 1):
+                for right in subsets_within_budget(list(graph.right_vertices()), 2):
+                    local = Biplex.of(left, right)
+                    expected = any(
+                        can_add_right(graph, set(left), set(right), u, k)
+                        for u in graph.right_vertices()
+                        if u not in right
+                    )
+                    assert engine._right_extensible(local) == expected
 
 
 class TestSizeThresholds:
