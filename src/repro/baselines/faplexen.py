@@ -25,7 +25,8 @@ from typing import List, Optional
 from ..core.biplex import Biplex
 from ..graph.bipartite import BipartiteGraph
 from ..graph.inflate import inflate, inflated_edge_count, split_vertex_set
-from .kplex import enumerate_maximal_kplexes
+from ..graph.protocol import BACKENDS, default_backend
+from .kplex import enumerate_maximal_kplexes_with_status
 
 
 @dataclass
@@ -58,7 +59,14 @@ class FaPlexenPipeline:
         the paper's *OUT* (out of 32 GB memory) outcomes for FaPlexen on
         larger datasets without actually exhausting the machine.
     max_results, time_limit:
-        Optional limits forwarded to the plex enumerator.
+        Optional limits forwarded to the plex enumerator.  When either cuts
+        the search short, ``stats.truncated`` is set — capped runs never
+        masquerade as complete enumerations.
+    backend:
+        Adjacency substrate of the *inflated* graph: ``"bitset"`` (the
+        default, see :func:`repro.graph.protocol.default_backend`) gives the
+        plex enumerator its word-parallel non-neighbour-mask fast path;
+        ``"set"`` is the plain-set fallback.
     """
 
     def __init__(
@@ -68,12 +76,16 @@ class FaPlexenPipeline:
         memory_edge_budget: int = 5_000_000,
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.k = k
         self.memory_edge_budget = memory_edge_budget
         self.max_results = max_results
         self.time_limit = time_limit
+        self.backend = default_backend() if backend is None else backend
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
         self.stats = InflationStats()
 
     def enumerate(self) -> List[Biplex]:
@@ -85,18 +97,18 @@ class FaPlexenPipeline:
             self.stats.truncated = True
             return []
         start = time.perf_counter()
-        inflated = inflate(self.graph)
+        inflated = inflate(self.graph, backend=self.backend)
         self.stats.inflation_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        plexes = enumerate_maximal_kplexes(
+        plexes, truncated = enumerate_maximal_kplexes_with_status(
             inflated,
             self.k + 1,
             max_results=self.max_results,
             time_limit=self.time_limit,
         )
         self.stats.enumeration_seconds = time.perf_counter() - start
-        if self.time_limit is not None and self.stats.enumeration_seconds > self.time_limit:
+        if truncated:
             self.stats.truncated = True
 
         n_left = self.graph.n_left
@@ -113,6 +125,7 @@ def enumerate_mbps_inflation(
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
     memory_edge_budget: int = 5_000_000,
+    backend: Optional[str] = None,
 ) -> List[Biplex]:
     """Functional wrapper around :class:`FaPlexenPipeline`."""
     pipeline = FaPlexenPipeline(
@@ -121,5 +134,6 @@ def enumerate_mbps_inflation(
         memory_edge_budget=memory_edge_budget,
         max_results=max_results,
         time_limit=time_limit,
+        backend=backend,
     )
     return pipeline.enumerate()

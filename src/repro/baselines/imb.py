@@ -18,6 +18,12 @@ behaviour; what matters for the paper's comparison is that
 This implementation follows that design: a binary include/exclude search
 over the combined vertex universe with hereditary candidate filtering,
 maximality verification against the excluded set, and size-based pruning.
+
+On the ``bitset`` backend (the default; ``backend="set"`` falls back to
+plain sets) the ``_fits`` / ``_add`` hot loop uses per-vertex non-neighbour
+masks: the members of the current biplex a candidate misses are found with
+one word-parallel ``&`` plus a popcount, and only their (at most ``k``)
+bits are walked for the per-member miss-budget checks.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.biplex import Biplex
 from ..graph.bipartite import BipartiteGraph
+from ..graph.protocol import as_backend, default_backend, supports_masks
 
 
 class _SearchLimit(Exception):
@@ -48,6 +55,10 @@ class IMB:
         constraint (and most of the pruning, as in the paper).
     max_results, time_limit:
         Optional limits; the search stops when either is reached.
+    backend:
+        Adjacency substrate (``"bitset"`` by default, see
+        :func:`repro.graph.protocol.default_backend`); both backends
+        enumerate identical solution sets.
     """
 
     def __init__(
@@ -58,11 +69,26 @@ class IMB:
         theta_right: int = 0,
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
-        self.graph = graph
+        self.graph = as_backend(graph, default_backend() if backend is None else backend)
         self.k = k
+        # Masked fast path: per-vertex non-neighbour masks over the other side.
+        if supports_masks(self.graph):
+            g = self.graph
+            full_left = (1 << g.n_left) - 1
+            full_right = (1 << g.n_right) - 1
+            self._non_adj_left: Optional[List[int]] = [
+                full_right & ~g.adj_left_mask(v) for v in g.left_vertices()
+            ]
+            self._non_adj_right: Optional[List[int]] = [
+                full_left & ~g.adj_right_mask(u) for u in g.right_vertices()
+            ]
+        else:
+            self._non_adj_left = None
+            self._non_adj_right = None
         self.theta_left = theta_left
         self.theta_right = theta_right
         self.max_results = max_results
@@ -85,7 +111,7 @@ class IMB:
         if not universe:
             return []
         try:
-            self._branch(set(), set(), {}, {}, universe, [])
+            self._branch(set(), set(), 0, 0, {}, {}, universe, [])
         except _SearchLimit:
             self.truncated = True
         return self.results
@@ -104,6 +130,8 @@ class IMB:
         self,
         left: Set[int],
         right: Set[int],
+        left_mask: int,
+        right_mask: int,
         left_misses: Dict[int, int],
         right_misses: Dict[int, int],
         candidates: List[Tuple[str, int]],
@@ -114,24 +142,38 @@ class IMB:
             return
         local_excluded = list(excluded)
         for index, candidate in enumerate(candidates):
-            if self._fits(left, right, left_misses, right_misses, candidate):
+            if self._fits(left_mask, right_mask, left, right, left_misses, right_misses, candidate):
                 new_left, new_right = set(left), set(right)
                 new_left_misses, new_right_misses = dict(left_misses), dict(right_misses)
-                self._add(new_left, new_right, new_left_misses, new_right_misses, candidate)
+                self._add(
+                    new_left, new_right, left_mask, right_mask,
+                    new_left_misses, new_right_misses, candidate,
+                )
+                side, vertex = candidate
+                new_left_mask = left_mask | (1 << vertex) if side == "L" else left_mask
+                new_right_mask = right_mask | (1 << vertex) if side == "R" else right_mask
                 remaining = candidates[index + 1 :]
                 new_candidates = [
                     c
                     for c in remaining
-                    if self._fits(new_left, new_right, new_left_misses, new_right_misses, c)
+                    if self._fits(
+                        new_left_mask, new_right_mask,
+                        new_left, new_right, new_left_misses, new_right_misses, c,
+                    )
                 ]
                 new_excluded = [
                     x
                     for x in local_excluded
-                    if self._fits(new_left, new_right, new_left_misses, new_right_misses, x)
+                    if self._fits(
+                        new_left_mask, new_right_mask,
+                        new_left, new_right, new_left_misses, new_right_misses, x,
+                    )
                 ]
                 self._branch(
                     new_left,
                     new_right,
+                    new_left_mask,
+                    new_right_mask,
                     new_left_misses,
                     new_right_misses,
                     new_candidates,
@@ -143,7 +185,8 @@ class IMB:
         if len(left) < self.theta_left or len(right) < self.theta_right:
             return
         if not any(
-            self._fits(left, right, left_misses, right_misses, x) for x in local_excluded
+            self._fits(left_mask, right_mask, left, right, left_misses, right_misses, x)
+            for x in local_excluded
         ):
             self._emit(Biplex.of(left, right))
 
@@ -163,6 +206,8 @@ class IMB:
 
     def _fits(
         self,
+        left_mask: int,
+        right_mask: int,
         left: Set[int],
         right: Set[int],
         left_misses: Dict[int, int],
@@ -171,6 +216,19 @@ class IMB:
     ) -> bool:
         """Whether adding ``candidate`` keeps the current subgraph a k-biplex."""
         side, vertex = candidate
+        if self._non_adj_left is not None:
+            if side == "L":
+                missed, other_misses = right_mask & self._non_adj_left[vertex], right_misses
+            else:
+                missed, other_misses = left_mask & self._non_adj_right[vertex], left_misses
+            if missed.bit_count() > self.k:
+                return False
+            while missed:
+                low = missed & -missed
+                if other_misses[low.bit_length() - 1] + 1 > self.k:
+                    return False
+                missed ^= low
+            return True
         if side == "L":
             adjacency = self.graph.neighbors_of_left(vertex)
             own_misses = 0
@@ -193,11 +251,29 @@ class IMB:
         self,
         left: Set[int],
         right: Set[int],
+        left_mask: int,
+        right_mask: int,
         left_misses: Dict[int, int],
         right_misses: Dict[int, int],
         candidate: Tuple[str, int],
     ) -> None:
         side, vertex = candidate
+        if self._non_adj_left is not None:
+            if side == "L":
+                missed = right_mask & self._non_adj_left[vertex]
+                own_misses, other_misses = missed.bit_count(), right_misses
+                left.add(vertex)
+                left_misses[vertex] = own_misses
+            else:
+                missed = left_mask & self._non_adj_right[vertex]
+                own_misses, other_misses = missed.bit_count(), left_misses
+                right.add(vertex)
+                right_misses[vertex] = own_misses
+            while missed:
+                low = missed & -missed
+                other_misses[low.bit_length() - 1] += 1
+                missed ^= low
+            return
         if side == "L":
             adjacency = self.graph.neighbors_of_left(vertex)
             own_misses = 0
@@ -234,6 +310,7 @@ def enumerate_mbps_imb(
     theta_right: int = 0,
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> List[Biplex]:
     """Functional wrapper around :class:`IMB`."""
     return IMB(
@@ -243,4 +320,5 @@ def enumerate_mbps_imb(
         theta_right=theta_right,
         max_results=max_results,
         time_limit=time_limit,
+        backend=backend,
     ).enumerate()

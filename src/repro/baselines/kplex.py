@@ -12,14 +12,22 @@ state-of-the-art maximal k-plex enumerator that the paper uses as the
 engine of its graph-inflation baseline: our enumerator plays the same
 algorithmic role (and has the same exponential worst case on the dense
 inflated graphs, which is the behaviour the evaluation demonstrates).
+
+When the input graph advertises adjacency bitmasks (a
+:class:`repro.graph.general.BitsetGraph`, e.g. from ``Graph.to_bitset()``
+or ``inflate(..., backend="bitset")``), the ``_fits`` / ``_add`` hot loop
+switches to per-vertex *non-neighbour masks*: the vertices of the current
+plex missed by a candidate are found with one ``&`` and a popcount instead
+of a membership scan, and only their (at most ``k``) bits are walked.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..graph.general import Graph
+from ..graph.protocol import supports_masks
 
 
 class _SearchLimit(Exception):
@@ -47,17 +55,38 @@ def enumerate_maximal_kplexes(
         reported (they are still maximal w.r.t. the whole graph).
     max_results, time_limit:
         Optional limits; when hit, the search stops and returns what was
-        found so far.
+        found so far.  Use :func:`enumerate_maximal_kplexes_with_status`
+        when the caller needs to know whether a limit cut the search short.
 
     Returns
     -------
     list of sets
         Each maximal k-plex as a vertex set; no duplicates.
     """
+    results, _ = enumerate_maximal_kplexes_with_status(
+        graph, k, must_contain=must_contain, max_results=max_results, time_limit=time_limit
+    )
+    return results
+
+
+def enumerate_maximal_kplexes_with_status(
+    graph: Graph,
+    k: int,
+    must_contain: Optional[int] = None,
+    max_results: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> Tuple[List[Set[int]], bool]:
+    """Like :func:`enumerate_maximal_kplexes`, plus a truncation flag.
+
+    The second element is ``True`` exactly when the search stopped because
+    ``max_results`` or ``time_limit`` was hit, i.e. when the returned list
+    may be incomplete.
+    """
     if k < 1:
         raise ValueError("k must be a positive integer")
     enumerator = _KPlexEnumerator(graph, k, max_results=max_results, time_limit=time_limit)
-    return enumerator.run(must_contain=must_contain)
+    results = enumerator.run(must_contain=must_contain)
+    return results, enumerator.truncated
 
 
 class _KPlexEnumerator:
@@ -75,34 +104,51 @@ class _KPlexEnumerator:
         self.max_results = max_results
         self.time_limit = time_limit
         self.results: List[Set[int]] = []
+        self.truncated = False
         self._start = 0.0
+        # Masked fast path: one precomputed non-neighbour mask per vertex
+        # (excluding the vertex itself) turns the ``_fits`` / ``_add`` scans
+        # into ``current_mask & non_adj[v]`` plus a popcount.
+        if supports_masks(graph):
+            full = graph.full_mask
+            self._non_adj: Optional[List[int]] = [
+                full & ~graph.adj_mask(v) & ~(1 << v) for v in graph.vertices()
+            ]
+        else:
+            self._non_adj = None
 
     def run(self, must_contain: Optional[int] = None) -> List[Set[int]]:
         self.results = []
+        self.truncated = False
         self._start = time.perf_counter()
         vertices = list(self.graph.vertices())
         if not vertices:
             return []
         if must_contain is None:
             current: Set[int] = set()
+            current_mask = 0
             misses: Dict[int, int] = {}
             candidates = vertices
         else:
             current = {must_contain}
+            current_mask = 1 << must_contain
             misses = {must_contain: 1}  # a vertex always misses itself
             candidates = [
-                v for v in vertices if v != must_contain and self._fits(current, misses, v)
+                v
+                for v in vertices
+                if v != must_contain and self._fits(current, current_mask, misses, v)
             ]
         try:
-            self._branch(current, misses, candidates, [])
+            self._branch(current, current_mask, misses, candidates, [])
         except _SearchLimit:
-            pass
+            self.truncated = True
         return self.results
 
     # ------------------------------------------------------------------ #
     def _branch(
         self,
         current: Set[int],
+        current_mask: int,
         misses: Dict[int, int],
         candidates: List[int],
         excluded: List[int],
@@ -116,22 +162,39 @@ class _KPlexEnumerator:
         self._check_limits()
         local_excluded = list(excluded)
         for index, pivot in enumerate(candidates):
-            if self._fits(current, misses, pivot):
+            if self._fits(current, current_mask, misses, pivot):
                 new_current = set(current)
+                new_mask = current_mask | (1 << pivot)
                 new_misses = dict(misses)
-                self._add(new_current, new_misses, pivot)
+                self._add(new_current, current_mask, new_misses, pivot)
                 remaining = candidates[index + 1 :]
-                new_candidates = [v for v in remaining if self._fits(new_current, new_misses, v)]
-                new_excluded = [x for x in local_excluded if self._fits(new_current, new_misses, x)]
-                self._branch(new_current, new_misses, new_candidates, new_excluded)
+                new_candidates = [
+                    v for v in remaining if self._fits(new_current, new_mask, new_misses, v)
+                ]
+                new_excluded = [
+                    x for x in local_excluded if self._fits(new_current, new_mask, new_misses, x)
+                ]
+                self._branch(new_current, new_mask, new_misses, new_candidates, new_excluded)
             local_excluded.append(pivot)
         # All candidates excluded: ``current`` is maximal unless an excluded
         # vertex could still join it.
-        if not any(self._fits(current, misses, x) for x in local_excluded):
+        if not any(self._fits(current, current_mask, misses, x) for x in local_excluded):
             self._emit(set(current))
 
-    def _fits(self, current: Set[int], misses: Dict[int, int], vertex: int) -> bool:
+    def _fits(
+        self, current: Set[int], current_mask: int, misses: Dict[int, int], vertex: int
+    ) -> bool:
         """Whether ``current ∪ {vertex}`` is still a k-plex."""
+        if self._non_adj is not None:
+            missed = current_mask & self._non_adj[vertex]
+            if missed.bit_count() + 1 > self.k:  # + the vertex itself
+                return False
+            while missed:
+                low = missed & -missed
+                if misses[low.bit_length() - 1] + 1 > self.k:
+                    return False
+                missed ^= low
+            return True
         adjacency = self.graph.neighbors(vertex)
         vertex_misses = 1  # itself
         for member in current:
@@ -143,7 +206,19 @@ class _KPlexEnumerator:
                     return False
         return True
 
-    def _add(self, current: Set[int], misses: Dict[int, int], vertex: int) -> None:
+    def _add(
+        self, current: Set[int], current_mask: int, misses: Dict[int, int], vertex: int
+    ) -> None:
+        if self._non_adj is not None:
+            missed = current_mask & self._non_adj[vertex]
+            vertex_misses = 1 + missed.bit_count()
+            while missed:
+                low = missed & -missed
+                misses[low.bit_length() - 1] += 1
+                missed ^= low
+            current.add(vertex)
+            misses[vertex] = vertex_misses
+            return
         adjacency = self.graph.neighbors(vertex)
         vertex_misses = 1
         for member in current:

@@ -8,6 +8,11 @@ Three subcommands cover the library's day-to-day uses:
   and print the paper-style table;
 * ``repro-mbp datasets``   — list the dataset registry (the Table 1 stand-ins).
 
+``enumerate`` accepts ``--backend {bitset,set}`` to pick the adjacency
+substrate; ``bitset`` (word-parallel bitmasks) is the default and ``set`` is
+the plain-set fallback — both enumerate identical solution sets.  The
+``REPRO_BACKEND`` environment variable overrides the default globally.
+
 Run ``repro-mbp <subcommand> --help`` for the full option list.
 """
 
@@ -23,6 +28,7 @@ from .bench.reporting import format_table
 from .core.itraversal import ITraversal
 from .core.verify import summarize_solutions
 from .graph.io import read_edge_list
+from .graph.protocol import BACKENDS, default_backend
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,9 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     enumerate_parser.add_argument(
         "--backend",
-        default="set",
-        choices=("set", "bitset"),
-        help="adjacency substrate: plain sets or word-parallel bitmasks (default: set)",
+        default=None,
+        choices=BACKENDS,
+        help=(
+            "adjacency substrate: 'bitset' (word-parallel bitmasks, the default) "
+            "or 'set' (plain adjacency sets, the fallback); both enumerate "
+            "identical solution sets, and the REPRO_BACKEND environment "
+            "variable overrides the default"
+        ),
     )
     enumerate_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
     enumerate_parser.add_argument("--max-results", type=int, default=None)
@@ -68,6 +79,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_enumerate(args: argparse.Namespace) -> int:
+    # Resolved here (not at parser-build time) so an invalid REPRO_BACKEND
+    # only affects the subcommand that uses it, with a clean error message.
+    try:
+        backend = args.backend if args.backend is not None else default_backend()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.dataset:
         graph = load_dataset(args.dataset)
     else:
@@ -80,7 +98,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         theta_right=args.theta,
         max_results=args.max_results,
         time_limit=args.time_limit,
-        backend=args.backend,
+        backend=backend,
     )
     solutions = algorithm.enumerate()
     if not args.quiet:

@@ -24,7 +24,7 @@ def btraversal_config(
     time_limit: Optional[float] = None,
     output_order: str = "pre",
     local_enumeration: str = "refined",
-    backend: str = "set",
+    backend: Optional[str] = None,
 ) -> TraversalConfig:
     """The :class:`TraversalConfig` corresponding to bTraversal.
 
@@ -33,7 +33,14 @@ def btraversal_config(
     almost-satisfying graph and enumerating local maximal (k+1)-plexes;
     ``"refined"`` (default) uses the same Section 4 implementation as
     iTraversal, which is the "fair comparison" setting of Figure 11.
+    ``backend=None`` resolves to
+    :func:`repro.graph.protocol.default_backend` (``bitset`` unless the
+    ``REPRO_BACKEND`` environment variable says otherwise).
     """
+    from ..graph.protocol import default_backend
+
+    if backend is None:
+        backend = default_backend()
     return TraversalConfig(
         left_anchored=False,
         right_shrinking=False,
@@ -69,7 +76,7 @@ class BTraversal:
         time_limit: Optional[float] = None,
         output_order: str = "pre",
         local_enumeration: str = "refined",
-        backend: str = "set",
+        backend: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.k = k

@@ -458,17 +458,21 @@ def enum_local_solutions_inflation(
     """
     # Imported lazily to keep the baselines package optional at import time.
     from ..baselines.kplex import enumerate_maximal_kplexes
-    from ..graph.general import Graph
+    from ..graph.general import BitsetGraph, Graph
+    from ..graph.protocol import supports_masks
 
     v = new_left_vertex
     left_ids = sorted(left)
     right_ids = sorted(right)
     # Build the inflated graph of the almost-satisfying subgraph with compact
     # ids: left vertices (including v) come first, then the right vertices.
+    # A mask-capable input gets a mask-capable inflation, so the k-plex
+    # enumerator keeps its word-parallel fast path on the bitset backend.
     local_left = left_ids + [v]
     left_index = {vertex: index for index, vertex in enumerate(local_left)}
     right_index = {vertex: len(local_left) + index for index, vertex in enumerate(right_ids)}
-    inflated = Graph(len(local_left) + len(right_ids))
+    graph_class = BitsetGraph if supports_masks(graph) else Graph
+    inflated = graph_class(len(local_left) + len(right_ids))
     for i in range(len(local_left)):
         for j in range(i + 1, len(local_left)):
             inflated.add_edge(i, j)

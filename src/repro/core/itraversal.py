@@ -29,9 +29,18 @@ def itraversal_config(
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
     output_order: str = "pre",
-    backend: str = "set",
+    backend: Optional[str] = None,
 ) -> TraversalConfig:
-    """Build the :class:`TraversalConfig` of iTraversal or one of its ablations."""
+    """Build the :class:`TraversalConfig` of iTraversal or one of its ablations.
+
+    ``backend=None`` (the default) resolves to
+    :func:`repro.graph.protocol.default_backend` — ``bitset`` unless
+    overridden via the ``REPRO_BACKEND`` environment variable.
+    """
+    from ..graph.protocol import default_backend
+
+    if backend is None:
+        backend = default_backend()
     return TraversalConfig(
         left_anchored=True,
         right_shrinking=right_shrinking,
@@ -66,8 +75,10 @@ class ITraversal:
     theta_left, theta_right:
         Large-MBP size thresholds (Section 5); 0 disables them.
     max_results, time_limit, output_order, enum_config, backend:
-        Passed through to the traversal engine (``backend="bitset"``
-        converts the graph to the bitmask substrate for the hot paths).
+        Passed through to the traversal engine.  ``backend`` defaults to
+        ``"bitset"`` (the graph is converted to the bitmask substrate for
+        the word-parallel hot paths); pass ``"set"`` — or export
+        ``REPRO_BACKEND=set`` — for plain-set adjacency.
 
     Examples
     --------
@@ -96,7 +107,7 @@ class ITraversal:
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
         output_order: str = "pre",
-        backend: str = "set",
+        backend: Optional[str] = None,
     ) -> None:
         if variant not in self.VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {sorted(self.VARIANTS)}")
@@ -162,7 +173,7 @@ def enumerate_mbps(
     variant: str = "full",
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
-    backend: str = "set",
+    backend: Optional[str] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate maximal k-biplexes with iTraversal; the main library entry point.
 
@@ -187,7 +198,7 @@ def enumerate_large_mbps(
     use_core_preprocessing: bool = True,
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
-    backend: str = "set",
+    backend: Optional[str] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate MBPs whose two sides both have at least ``theta`` vertices.
 

@@ -43,6 +43,11 @@ class LargeMBPEnumerator:
     use_core_preprocessing:
         Shrink the graph to its ``(θ − k, θ − k)``-core before enumerating
         (always safe; usually much faster).
+    backend:
+        Adjacency substrate; ``None`` resolves to
+        :func:`repro.graph.protocol.default_backend` (``bitset`` by
+        default).  The conversion happens *before* the core preprocessing,
+        so the peeling also runs on the word-parallel masked path.
     """
 
     def __init__(
@@ -56,7 +61,7 @@ class LargeMBPEnumerator:
         enum_config: EnumAlmostSatConfig = DEFAULT_CONFIG,
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
-        backend: str = "set",
+        backend: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -64,16 +69,20 @@ class LargeMBPEnumerator:
         self.theta_right = theta if theta_right is None else theta_right
         self.use_core_preprocessing = use_core_preprocessing
 
+        from ..graph.protocol import as_backend, default_backend
+
+        backend = default_backend() if backend is None else backend
+        converted = as_backend(graph, backend)
         if use_core_preprocessing and (self.theta_left or self.theta_right):
             core_bound = min(
                 value for value in (self.theta_left, self.theta_right) if value
             )
-            working, left_map, right_map = theta_core_for_large_mbps(graph, k, core_bound)
+            working, left_map, right_map = theta_core_for_large_mbps(converted, k, core_bound)
         else:
             working, left_map, right_map = (
-                graph,
-                list(graph.left_vertices()),
-                list(graph.right_vertices()),
+                converted,
+                list(converted.left_vertices()),
+                list(converted.right_vertices()),
             )
         self._working = working
         self._left_map = left_map

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph, MirrorView
-from ..graph.protocol import BACKENDS, as_backend, mask_of, supports_masks
+from ..graph.protocol import BACKENDS, as_backend, default_backend, mask_of, supports_masks
 from .biplex import (
     Biplex,
     arbitrary_initial_solution,
@@ -71,11 +71,14 @@ class TraversalConfig:
         ``"alternate"`` applies the alternating-output trick of Uno (2003)
         that turns the total-time bound into a polynomial *delay* bound.
     backend:
-        Adjacency substrate the engine runs on: ``"set"`` (the input graph
-        as-is) or ``"bitset"`` (the graph is converted to a
+        Adjacency substrate the engine runs on: ``"bitset"`` (the default —
+        the graph is converted to a
         :class:`~repro.graph.bitset.BitsetBipartiteGraph` and the
-        word-parallel bitmask fast paths kick in).  Both backends enumerate
-        identical solution sets in identical order.
+        word-parallel bitmask fast paths kick in) or ``"set"`` (the input
+        graph as-is).  Both backends enumerate identical solution sets in
+        identical order; the default follows
+        :func:`repro.graph.protocol.default_backend` and can be flipped
+        globally with the ``REPRO_BACKEND`` environment variable.
     """
 
     left_anchored: bool = True
@@ -88,7 +91,7 @@ class TraversalConfig:
     max_results: Optional[int] = None
     time_limit: Optional[float] = None
     output_order: str = "pre"
-    backend: str = "set"
+    backend: str = field(default_factory=default_backend)
     local_enumeration: str = "refined"
     """How EnumAlmostSat is implemented: ``"refined"`` uses the Section 4
     algorithm (levels set by ``enum_config``); ``"inflation"`` inflates each

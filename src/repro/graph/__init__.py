@@ -3,7 +3,7 @@
 from .bipartite import BipartiteGraph, Side, freeze, paper_example_graph, sorted_tuple
 from .bitset import BitsetBipartiteGraph
 from .cores import alpha_beta_core, alpha_beta_core_subgraph, theta_core_for_large_mbps
-from .general import Graph
+from .general import BitsetGraph, Graph
 from .generators import (
     FraudInjection,
     erdos_renyi_bipartite,
@@ -15,10 +15,12 @@ from .generators import (
 from .inflate import inflate, inflated_edge_count, join_vertex_sets, split_vertex_set
 from .io import read_edge_list, read_konect, write_edge_list, write_konect
 from .protocol import (
+    BACKEND_ENV_VAR,
     BACKENDS,
     BipartiteSubstrate,
     MaskedBipartiteSubstrate,
     as_backend,
+    default_backend,
     iter_bits,
     mask_of,
     supports_masks,
@@ -30,12 +32,15 @@ __all__ = [
     "BipartiteSubstrate",
     "MaskedBipartiteSubstrate",
     "BACKENDS",
+    "BACKEND_ENV_VAR",
     "as_backend",
+    "default_backend",
     "iter_bits",
     "mask_of",
     "supports_masks",
     "Side",
     "Graph",
+    "BitsetGraph",
     "FraudInjection",
     "freeze",
     "sorted_tuple",

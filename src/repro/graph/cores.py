@@ -14,6 +14,9 @@ uses it in two places:
 
 The implementation is the standard peeling algorithm: repeatedly delete any
 vertex violating its degree constraint; the result is order-independent.
+On a mask-capable substrate the alive sets are bitmasks and the degree
+updates walk only the set bits of ``adjacency & alive`` — both paths peel
+the same vertices, so ``set`` and ``bitset`` graphs stay drop-in equivalent.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from collections import deque
 from typing import Set, Tuple
 
 from .bipartite import BipartiteGraph
+from .protocol import supports_masks
 
 
 def alpha_beta_core(graph: BipartiteGraph, alpha: int, beta: int) -> Tuple[Set[int], Set[int]]:
@@ -31,6 +35,8 @@ def alpha_beta_core(graph: BipartiteGraph, alpha: int, beta: int) -> Tuple[Set[i
     right-vertex degrees.  Either set may be empty.  Values of 0 or below
     impose no constraint on that side.
     """
+    if supports_masks(graph):
+        return _alpha_beta_core_masked(graph, alpha, beta)
     left_degree = {v: graph.degree_of_left(v) for v in graph.left_vertices()}
     right_degree = {u: graph.degree_of_right(u) for u in graph.right_vertices()}
     left_alive: Set[int] = set(graph.left_vertices())
@@ -65,6 +71,67 @@ def alpha_beta_core(graph: BipartiteGraph, alpha: int, beta: int) -> Tuple[Set[i
                     if left_degree[v] < alpha:
                         queue.append(("L", v))
     return left_alive, right_alive
+
+
+def _alpha_beta_core_masked(graph, alpha: int, beta: int) -> Tuple[Set[int], Set[int]]:
+    """Bitmask twin of the peeling loop.
+
+    Alive sets are bitmasks, so the per-neighbour "is it still alive?" test
+    is a single shift instead of a set lookup, and the surviving-degree
+    recount after a removal walks only ``adjacency & alive`` bits.  Initial
+    degrees come from the adjacency sets (a masked substrate always answers
+    set queries too), which is O(1) per vertex.
+    """
+    left_alive = (1 << graph.n_left) - 1
+    right_alive = (1 << graph.n_right) - 1
+    left_removed: list = []
+    right_removed: list = []
+    left_degree = [len(graph.neighbors_of_left(v)) for v in range(graph.n_left)]
+    right_degree = [len(graph.neighbors_of_right(u)) for u in range(graph.n_right)]
+
+    queue = deque()
+    for v, degree in enumerate(left_degree):
+        if degree < alpha:
+            queue.append(("L", v))
+    for u, degree in enumerate(right_degree):
+        if degree < beta:
+            queue.append(("R", u))
+
+    while queue:
+        side, vertex = queue.popleft()
+        bit = 1 << vertex
+        if side == "L":
+            if not left_alive & bit:
+                continue
+            left_alive ^= bit
+            left_removed.append(vertex)
+            survivors = graph.adj_left_mask(vertex) & right_alive
+            while survivors:
+                low = survivors & -survivors
+                u = low.bit_length() - 1
+                right_degree[u] -= 1
+                if right_degree[u] == beta - 1:
+                    queue.append(("R", u))
+                survivors ^= low
+        else:
+            if not right_alive & bit:
+                continue
+            right_alive ^= bit
+            right_removed.append(vertex)
+            survivors = graph.adj_right_mask(vertex) & left_alive
+            while survivors:
+                low = survivors & -survivors
+                v = low.bit_length() - 1
+                left_degree[v] -= 1
+                if left_degree[v] == alpha - 1:
+                    queue.append(("L", v))
+                survivors ^= low
+    # Materialising the alive sets from the removal log is O(n); walking the
+    # (potentially very wide) alive masks bit-by-bit would be O(n² / 64).
+    return (
+        set(range(graph.n_left)).difference(left_removed),
+        set(range(graph.n_right)).difference(right_removed),
+    )
 
 
 def alpha_beta_core_subgraph(

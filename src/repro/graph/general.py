@@ -6,6 +6,11 @@ which maximal ``(k+1)``-plexes of the inflated general graph correspond to
 maximal k-biplexes of the original bipartite graph (Section 1 and Section 6
 of the paper).  The maximal k-plex enumerator in
 :mod:`repro.baselines.kplex` operates on this class.
+
+:class:`BitsetGraph` is the mask-capable sibling (the general-graph analogue
+of :class:`repro.graph.bitset.BitsetBipartiteGraph`): it additionally keeps
+one adjacency bitmask per vertex, which the k-plex enumerator's ``_fits`` /
+``_add`` hot loop turns into word-parallel non-neighbour popcounts.
 """
 
 from __future__ import annotations
@@ -119,9 +124,66 @@ class Graph:
                 return False
         return True
 
+    def to_bitset(self) -> "BitsetGraph":
+        """Return a mask-capable copy of this graph (see :class:`BitsetGraph`)."""
+        return BitsetGraph(self._n, self.edges())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self._n}, num_edges={self._num_edges})"
 
     def _check(self, u: int) -> None:
         if not 0 <= u < self._n:
             raise IndexError(f"vertex {u} out of range [0, {self._n})")
+
+
+class BitsetGraph(Graph):
+    """A :class:`Graph` that also maintains one adjacency bitmask per vertex.
+
+    Bit ``v`` of ``adj_mask(u)`` is set iff ``{u, v}`` is an edge.  The class
+    keeps the exact public API of ``Graph`` (it *is* one); the k-plex
+    enumerator detects the capability via
+    :func:`repro.graph.protocol.supports_masks` and switches its hot
+    predicates to word-parallel bitwise operations.
+
+    Examples
+    --------
+    >>> g = BitsetGraph(3, edges=[(0, 1), (1, 2)])
+    >>> bin(g.adj_mask(1))
+    '0b101'
+    >>> g.to_bitset() is g
+    True
+    """
+
+    __slots__ = ("_masks",)
+
+    #: Capability flag: tells the algorithms the bitwise fast paths apply.
+    supports_masks = True
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
+        # The masks must exist before the base constructor replays ``edges``
+        # through our ``add_edge`` override.
+        self._masks: List[int] = [0] * max(n, 0)
+        super().__init__(n, edges)
+
+    def adj_mask(self, u: int) -> int:
+        """Bitmask over vertex ids of the neighbours of ``u``."""
+        return self._masks[u]
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with one bit per vertex (the whole vertex universe)."""
+        return (1 << self._n) - 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        if not super().add_edge(u, v):
+            return False
+        self._masks[u] |= 1 << v
+        self._masks[v] |= 1 << u
+        return True
+
+    def to_bitset(self) -> "BitsetGraph":
+        """Already bitset-backed: return ``self`` (no copy)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitsetGraph(n={self._n}, num_edges={self._num_edges})"

@@ -19,10 +19,32 @@ two backends always produce identical solution sets.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Protocol, Set, runtime_checkable
 
 #: Names accepted by :func:`as_backend` and ``TraversalConfig.backend``.
 BACKENDS = ("set", "bitset")
+
+#: Environment variable overriding :func:`default_backend`.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def default_backend() -> str:
+    """The adjacency backend used when none is requested explicitly.
+
+    ``bitset`` is the default everywhere (``TraversalConfig``, the CLI, the
+    baselines): the word-parallel fast paths win on every workload we
+    benchmark and both backends are proven to enumerate identical solution
+    sets.  Set the ``REPRO_BACKEND`` environment variable to ``set`` to fall
+    back to plain-set adjacency globally — CI runs the whole test suite once
+    per backend through exactly this knob.
+    """
+    backend = os.environ.get(BACKEND_ENV_VAR, "bitset")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR}={backend!r} is not a valid backend; expected one of {BACKENDS}"
+        )
+    return backend
 
 
 @runtime_checkable

@@ -224,6 +224,28 @@ class TestBackendEquivalence:
             TraversalConfig(backend="gpu")
 
 
+class TestDefaultBackend:
+    def test_bitset_is_the_default(self, monkeypatch):
+        from repro.graph import BACKEND_ENV_VAR, default_backend
+        from repro.graph.bipartite import paper_example_graph
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert default_backend() == "bitset"
+        assert TraversalConfig().backend == "bitset"
+        engine_graph = ITraversal(paper_example_graph(), 1)._engine.graph
+        assert supports_masks(engine_graph)
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        from repro.graph import BACKEND_ENV_VAR, default_backend
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "set")
+        assert default_backend() == "set"
+        assert TraversalConfig().backend == "set"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        with pytest.raises(ValueError):
+            default_backend()
+
+
 class TestCliBackend:
     def test_enumerate_with_bitset_backend(self, tmp_path, capsys, example_graph):
         from repro.cli import main

@@ -144,6 +144,82 @@ class TestInflationPipeline:
         assert pipeline.stats.total_seconds >= 0
         assert pipeline.stats.inflated_edges > example_graph.num_edges
 
+    def test_max_results_cap_reports_truncated(self, example_graph):
+        # Regression: a run stopped by the result cap used to masquerade as
+        # a complete enumeration (only time-based truncation was reported).
+        pipeline = FaPlexenPipeline(example_graph, 1, max_results=2)
+        solutions = pipeline.enumerate()
+        assert len(solutions) == 2
+        assert pipeline.stats.truncated
+
+    def test_complete_run_not_truncated(self, example_graph):
+        pipeline = FaPlexenPipeline(example_graph, 1)
+        pipeline.enumerate()
+        assert not pipeline.stats.truncated
+
+    def test_time_limit_reports_truncated(self, example_graph):
+        pipeline = FaPlexenPipeline(example_graph, 1, time_limit=0.0)
+        pipeline.enumerate()
+        assert pipeline.stats.truncated
+
+    def test_rejects_unknown_backend(self, example_graph):
+        with pytest.raises(ValueError):
+            FaPlexenPipeline(example_graph, 1, backend="numpy")
+
+
+class TestBaselineBackendEquivalence:
+    """Every converted baseline must enumerate identical sets on both backends."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_imb_backends_agree(self, seed, k):
+        graph = erdos_renyi_bipartite(5, 5, num_edges=10 + seed * 4, seed=seed)
+        assert set(enumerate_mbps_imb(graph, k, backend="set")) == set(
+            enumerate_mbps_imb(graph, k, backend="bitset")
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_inflation_backends_agree(self, seed):
+        graph = erdos_renyi_bipartite(4, 4, num_edges=8 + seed * 2, seed=seed)
+        assert set(enumerate_mbps_inflation(graph, 1, backend="set")) == set(
+            enumerate_mbps_inflation(graph, 1, backend="bitset")
+        )
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_kplex_masked_graph_agrees(self, k):
+        import random
+
+        rng = random.Random(11)
+        n = 7
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.5]
+        graph = Graph(n, edges)
+        expected = sorted(map(frozenset, enumerate_maximal_kplexes(graph, k)))
+        masked = sorted(map(frozenset, enumerate_maximal_kplexes(graph.to_bitset(), k)))
+        assert masked == expected
+
+    def test_quasi_biclique_backends_agree(self, example_graph):
+        bitset = example_graph.to_bitset()
+        for delta in (0.0, 0.3, 0.6):
+            assert set(
+                enumerate_maximal_quasi_bicliques(example_graph, delta, 2, 2, backend="set")
+            ) == set(enumerate_maximal_quasi_bicliques(bitset, delta, 2, 2))
+        assert set(find_quasi_bicliques_greedy(example_graph, 0.25, 2, 2, backend="set")) == set(
+            find_quasi_bicliques_greedy(example_graph, 0.25, 2, 2, backend="bitset")
+        )
+
+    def test_is_quasi_biclique_backends_agree(self, example_graph):
+        import random
+
+        bitset = example_graph.to_bitset()
+        rng = random.Random(7)
+        for _ in range(20):
+            left = {v for v in example_graph.left_vertices() if rng.random() < 0.5}
+            right = {u for u in example_graph.right_vertices() if rng.random() < 0.5}
+            for delta in (0.0, 0.25, 0.5, 1.0):
+                assert is_quasi_biclique(bitset, left, right, delta) == is_quasi_biclique(
+                    example_graph, left, right, delta
+                )
+
 
 class TestBiclique:
     def test_all_outputs_are_bicliques(self, example_graph):

@@ -22,11 +22,14 @@ from repro.graph import (
     write_konect,
 )
 from repro.graph.butterfly import (
+    _count_from_side,
+    _pivot_from_left,
     bitruss_number,
     count_butterflies,
     edge_butterfly_counts,
     k_bitruss,
 )
+from repro.graph.general import BitsetGraph
 from repro.graph.generators import degree_histogram
 
 
@@ -174,6 +177,95 @@ class TestButterflies:
             if number >= 1:
                 truss = k_bitruss(example_graph, number)
                 assert edge in set(truss.edges())
+
+    def test_bitruss_numbers_match_bruteforce_maxima(self):
+        # Dense 4x4 graph (complete minus a perfect matching): every edge's
+        # bitruss number must equal the largest k whose k-bitruss keeps it.
+        graph = BipartiteGraph(
+            4, 4, edges=[(v, u) for v in range(4) for u in range(4) if v != u]
+        )
+        numbers = bitruss_number(graph)
+        for edge in graph.edges():
+            expected = 0
+            for k in range(1, graph.num_edges + 1):
+                surviving = set(k_bitruss(graph, k).edges())
+                if edge in surviving:
+                    expected = k
+                else:
+                    break
+            assert numbers[edge] == expected, edge
+
+    def test_incremental_peeling_matches_recompute(self):
+        # The incremental support updates must peel exactly the edges the
+        # naive recompute-every-round peeling removes.
+        def naive_k_bitruss(graph, k):
+            working = graph.copy()
+            while True:
+                support = edge_butterfly_counts(working)
+                to_remove = [edge for edge, count in support.items() if count < k]
+                if not to_remove:
+                    return working
+                for v, u in to_remove:
+                    working.remove_edge(v, u)
+
+        for seed in range(4):
+            graph = erdos_renyi_bipartite(6, 6, num_edges=18 + seed * 4, seed=seed)
+            for k in (1, 2, 3):
+                for backend_graph in (graph, graph.to_bitset()):
+                    assert sorted(k_bitruss(backend_graph, k).edges()) == sorted(
+                        naive_k_bitruss(graph, k).edges()
+                    )
+
+    def test_pivot_side_prefers_cheaper_wedges(self):
+        # A single left hub: all wedges are centred on the hub, so anchoring
+        # on the left (walking wedges centred on degree-1 right vertices) is
+        # the cheap direction — the old inverted branch picked the right side.
+        left_hub = BipartiteGraph(1, 8, edges=[(0, u) for u in range(8)])
+        assert _pivot_from_left(left_hub) is True
+        right_hub = BipartiteGraph(8, 1, edges=[(v, 0) for v in range(8)])
+        assert _pivot_from_left(right_hub) is False
+
+    def test_count_identical_from_both_sides(self):
+        for seed in range(3):
+            graph = erdos_renyi_bipartite(7, 4, num_edges=14 + seed, seed=seed)
+            expected = _count_from_side(graph, from_left=True)
+            assert _count_from_side(graph, from_left=False) == expected
+            assert count_butterflies(graph) == expected
+
+    def test_butterfly_backends_agree(self):
+        for seed in range(3):
+            graph = erdos_renyi_bipartite(6, 9, num_edges=20 + seed * 3, seed=seed)
+            bitset = graph.to_bitset()
+            assert count_butterflies(bitset) == count_butterflies(graph)
+            assert edge_butterfly_counts(bitset) == edge_butterfly_counts(graph)
+
+
+class TestBitsetGeneralGraph:
+    def test_masks_track_edges(self):
+        graph = BitsetGraph(4, edges=[(0, 1), (1, 2)])
+        assert graph.adj_mask(1) == 0b101
+        assert graph.adj_mask(3) == 0
+        assert graph.full_mask == 0b1111
+        graph.add_edge(1, 3)
+        assert graph.adj_mask(1) == 0b1101
+        assert graph.adj_mask(3) == 0b010
+
+    def test_to_bitset_roundtrip(self):
+        graph = Graph(5, edges=[(0, 1), (2, 3), (3, 4)])
+        bitset = graph.to_bitset()
+        assert isinstance(bitset, BitsetGraph)
+        assert sorted(bitset.edges()) == sorted(graph.edges())
+        assert bitset.to_bitset() is bitset
+
+    def test_inflate_bitset_backend(self, tiny_graph):
+        from repro.graph import inflate
+
+        plain = inflate(tiny_graph)
+        masked = inflate(tiny_graph, backend="bitset")
+        assert isinstance(masked, BitsetGraph)
+        assert sorted(masked.edges()) == sorted(plain.edges())
+        with pytest.raises(ValueError):
+            inflate(tiny_graph, backend="numpy")
 
 
 class TestGenerators:

@@ -28,7 +28,8 @@ from repro.core.enum_almost_sat import (
     enum_local_solutions,
     enum_local_solutions_naive,
 )
-from repro.graph import BipartiteGraph
+from repro.graph import BACKENDS, BipartiteGraph, as_backend
+from repro.graph.butterfly import count_butterflies, edge_butterfly_counts, k_bitruss
 from repro.graph.cores import alpha_beta_core
 
 SETTINGS = settings(
@@ -48,6 +49,54 @@ def bipartite_graphs(draw, max_left=5, max_right=5):
         st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible), unique=True)
     )
     return BipartiteGraph(n_left, n_right, edges=edges)
+
+
+#: Deliberately asymmetric side sizes: the butterfly pivot-side selection and
+#: the per-side core constraints only show their bugs off the diagonal.
+asymmetric_graphs = bipartite_graphs(max_left=7, max_right=3)
+
+
+def _bruteforce_butterflies(graph):
+    """Oracle: count 2 × 2 bicliques by enumerating left pairs."""
+    from itertools import combinations
+
+    total = 0
+    for v1, v2 in combinations(range(graph.n_left), 2):
+        common = len(
+            set(graph.neighbors_of_left(v1)) & set(graph.neighbors_of_left(v2))
+        )
+        total += common * (common - 1) // 2
+    return total
+
+
+def _bruteforce_edge_supports(graph):
+    """Oracle: per-edge butterfly membership counted pair-by-pair."""
+    support = {}
+    for v, u in graph.edges():
+        count = 0
+        for v_prime in graph.left_vertices():
+            if v_prime == v or not graph.has_edge(v_prime, u):
+                continue
+            for u_prime in graph.right_vertices():
+                if u_prime == u:
+                    continue
+                if graph.has_edge(v, u_prime) and graph.has_edge(v_prime, u_prime):
+                    count += 1
+        support[(v, u)] = count
+    return support
+
+
+def _bruteforce_alpha_beta_core(graph, alpha, beta):
+    """Oracle: recompute every degree each round, remove all violators at once."""
+    left = set(graph.left_vertices())
+    right = set(graph.right_vertices())
+    while True:
+        bad_left = {v for v in left if len(set(graph.neighbors_of_left(v)) & right) < alpha}
+        bad_right = {u for u in right if len(set(graph.neighbors_of_right(u)) & left) < beta}
+        if not bad_left and not bad_right:
+            return left, right
+        left -= bad_left
+        right -= bad_right
 
 
 ks = st.integers(min_value=1, max_value=2)
@@ -80,6 +129,19 @@ class TestCrossAlgorithmEquivalence:
         assert set(ITraversal(graph, k, variant="no-exclusion").enumerate()) == reference
         assert set(ITraversal(graph, k, variant="left-anchored-only").enumerate()) == reference
         assert set(ITraversal(graph, k, anchor="right").enumerate()) == reference
+
+    @SETTINGS
+    @given(graph=bipartite_graphs(max_left=4, max_right=4), k=ks)
+    def test_enumerators_backend_identical(self, graph, k):
+        """Core enumerators and converted baselines agree across backends."""
+        from repro.baselines import enumerate_mbps_inflation
+
+        reference = set(enumerate_mbps_bruteforce(graph, k))
+        for backend in ("set", "bitset"):
+            assert set(ITraversal(graph, k, backend=backend).enumerate()) == reference
+            assert set(BTraversal(graph, k, backend=backend).enumerate()) == reference
+            assert set(enumerate_mbps_imb(graph, k, backend=backend)) == reference
+            assert set(enumerate_mbps_inflation(graph, k, backend=backend)) == reference
 
 
 class TestStructuralInvariants:
@@ -189,6 +251,40 @@ class TestCoreProperties:
                 continue
             # v was peeled: within the core it has fewer than alpha neighbours.
             assert len(set(graph.neighbors_of_left(v)) & right) < alpha
+
+    @SETTINGS
+    @given(graph=asymmetric_graphs)
+    def test_butterfly_count_matches_bruteforce_on_both_backends(self, graph):
+        expected = _bruteforce_butterflies(graph)
+        for backend in BACKENDS:
+            assert count_butterflies(as_backend(graph, backend)) == expected
+
+    @SETTINGS
+    @given(graph=asymmetric_graphs)
+    def test_edge_supports_match_bruteforce_on_both_backends(self, graph):
+        expected = _bruteforce_edge_supports(graph)
+        for backend in BACKENDS:
+            assert edge_butterfly_counts(as_backend(graph, backend)) == expected
+
+    @SETTINGS
+    @given(graph=asymmetric_graphs, k=st.integers(min_value=1, max_value=3))
+    def test_k_bitruss_backends_agree_and_supports_hold(self, graph, k):
+        expected_edges = sorted(k_bitruss(graph, k).edges())
+        for backend in BACKENDS:
+            truss = k_bitruss(as_backend(graph, backend), k)
+            assert sorted(truss.edges()) == expected_edges
+            assert all(count >= k for count in edge_butterfly_counts(truss).values())
+
+    @SETTINGS
+    @given(
+        graph=asymmetric_graphs,
+        alpha=st.integers(min_value=0, max_value=3),
+        beta=st.integers(min_value=0, max_value=3),
+    )
+    def test_core_matches_bruteforce_on_both_backends(self, graph, alpha, beta):
+        expected = _bruteforce_alpha_beta_core(graph, alpha, beta)
+        for backend in BACKENDS:
+            assert alpha_beta_core(as_backend(graph, backend), alpha, beta) == expected
 
     @SETTINGS
     @given(graph=bipartite_graphs(max_left=5, max_right=5), k=ks, theta=st.integers(2, 4))
