@@ -9,6 +9,7 @@ from .quasi_biclique import (
     enumerate_maximal_quasi_bicliques,
     find_quasi_bicliques_greedy,
     is_quasi_biclique,
+    quasi_biclique_seed_k,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "is_quasi_biclique",
     "enumerate_maximal_quasi_bicliques",
     "find_quasi_bicliques_greedy",
+    "quasi_biclique_seed_k",
 ]

@@ -64,9 +64,10 @@ class FaPlexenPipeline:
         masquerade as complete enumerations.
     backend:
         Adjacency substrate of the *inflated* graph: ``"bitset"`` (the
-        default, see :func:`repro.graph.protocol.default_backend`) gives the
-        plex enumerator its word-parallel non-neighbour-mask fast path;
-        ``"set"`` is the plain-set fallback.
+        default, see :func:`repro.graph.protocol.default_backend`) and
+        ``"packed"`` (numpy bit-matrix rows) give the plex enumerator its
+        word-parallel non-neighbour-mask fast path; ``"set"`` is the
+        plain-set fallback.
     """
 
     def __init__(

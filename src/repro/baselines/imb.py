@@ -19,11 +19,12 @@ This implementation follows that design: a binary include/exclude search
 over the combined vertex universe with hereditary candidate filtering,
 maximality verification against the excluded set, and size-based pruning.
 
-On the ``bitset`` backend (the default; ``backend="set"`` falls back to
-plain sets) the ``_fits`` / ``_add`` hot loop uses per-vertex non-neighbour
-masks: the members of the current biplex a candidate misses are found with
-one word-parallel ``&`` plus a popcount, and only their (at most ``k``)
-bits are walked for the per-member miss-budget checks.
+On a mask-capable backend (``bitset``, the default, or the numpy-backed
+``packed``; ``backend="set"`` falls back to plain sets) the ``_fits`` /
+``_add`` hot loop uses per-vertex non-neighbour masks: the members of the
+current biplex a candidate misses are found with one word-parallel ``&``
+plus a popcount, and only their (at most ``k``) bits are walked for the
+per-member miss-budget checks.
 """
 
 from __future__ import annotations
@@ -57,8 +58,9 @@ class IMB:
         Optional limits; the search stops when either is reached.
     backend:
         Adjacency substrate (``"bitset"`` by default, see
-        :func:`repro.graph.protocol.default_backend`); both backends
-        enumerate identical solution sets.
+        :func:`repro.graph.protocol.default_backend`; ``"packed"`` and
+        ``"set"`` are the alternatives); all backends enumerate identical
+        solution sets.
     """
 
     def __init__(

@@ -14,8 +14,10 @@ algorithmic role (and has the same exponential worst case on the dense
 inflated graphs, which is the behaviour the evaluation demonstrates).
 
 When the input graph advertises adjacency bitmasks (a
-:class:`repro.graph.general.BitsetGraph`, e.g. from ``Graph.to_bitset()``
-or ``inflate(..., backend="bitset")``), the ``_fits`` / ``_add`` hot loop
+:class:`repro.graph.general.BitsetGraph` or
+:class:`repro.graph.packed.PackedGraph`, e.g. from ``Graph.to_bitset()``
+or ``inflate(..., backend="bitset")`` / ``backend="packed"``), the
+``_fits`` / ``_add`` hot loop
 switches to per-vertex *non-neighbour masks*: the vertices of the current
 plex missed by a candidate are found with one ``&`` and a popcount instead
 of a membership scan, and only their (at most ``k``) bits are walked.

@@ -93,6 +93,22 @@ def enumerate_maximal_quasi_bicliques(
     return maximal
 
 
+def quasi_biclique_seed_k(delta: float, theta_left: int, theta_right: int) -> int:
+    """The k-biplex parameter used to seed the greedy δ-QB finder.
+
+    A maximal k-biplex with ``|L'| ≥ θ_L`` and ``|R'| ≥ θ_R`` is *guaranteed*
+    to already be a δ-QB exactly when ``k ≤ δ · |R'|`` and ``k ≤ δ · |L'|``
+    for every admissible seed, i.e. when ``k ≤ δ · min(θ_L, θ_R)`` (the side
+    sizes only grow beyond their thresholds, and the δ-QB miss budgets are
+    relative while k is absolute).  We therefore seed with the largest such
+    k, ``⌊δ · min(θ_L, θ_R)⌋``, clamped to at least 1 so the seed enumeration
+    is never degenerate.  Only the clamped case can produce seeds that
+    violate the δ-QB budgets — which is what the shrink-repair step of
+    :func:`find_quasi_bicliques_greedy` is for.
+    """
+    return max(1, math.floor(delta * min(theta_left, theta_right)))
+
+
 def find_quasi_bicliques_greedy(
     graph: BipartiteGraph,
     delta: float,
@@ -105,7 +121,8 @@ def find_quasi_bicliques_greedy(
     """Greedy seed-and-expand δ-QB finder for case-study scale graphs.
 
     Each seed (by default the maximal k-biplexes with
-    ``k = ⌈δ · θ_R⌉`` found by iTraversal, restricted to the seeds passed in
+    ``k = max(1, ⌊δ · min(θ_L, θ_R)⌋)`` found by iTraversal — see
+    :func:`quasi_biclique_seed_k` — unless explicit ``seeds`` are passed in
     by the caller) is expanded greedily: vertices whose addition keeps the
     δ-QB property are added, preferring high-degree vertices, until no
     further addition is possible.  Structures below the size thresholds are
@@ -115,7 +132,7 @@ def find_quasi_bicliques_greedy(
     if seeds is None:
         from ..core.itraversal import ITraversal
 
-        k_seed = max(1, math.ceil(delta * max(theta_left, theta_right)))
+        k_seed = quasi_biclique_seed_k(delta, theta_left, theta_right)
         seeds = ITraversal(
             graph, k_seed, theta_left=theta_left, theta_right=theta_right,
             max_results=max_structures,

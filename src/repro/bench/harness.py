@@ -54,16 +54,39 @@ class Measurement:
 
     @property
     def display(self) -> object:
-        """Seconds, or the INF/OUT marker for the report table."""
-        return self.marker if self.marker else self.seconds
+        """Seconds, or the INF/OUT marker for the report table.
+
+        A measurement without seconds *and* without a marker (a run that
+        never produced a timing) renders as the paper's ``INF`` marker
+        rather than leaking ``None`` into the report tables.
+        """
+        if self.marker:
+            return self.marker
+        if self.seconds is None:
+            return INF
+        return self.seconds
 
 
 def time_call(function: Callable[[], object], label: str = "") -> Measurement:
-    """Time a single call; the callable returns the solution list (or None)."""
+    """Time a single call; the callable returns the solutions (or None).
+
+    Lazy return values (generators / arbitrary iterables) are materialised
+    *inside* the timed window — consuming them is part of the algorithm's
+    work — so ``num_solutions`` reflects the real output count instead of
+    silently reporting 0 for anything that is not already a list.
+    """
     start = time.perf_counter()
     result = function()
+    sized = hasattr(result, "__len__")
+    if result is not None and not sized:
+        try:
+            result = list(result)
+        except TypeError:
+            result = None
+        else:
+            sized = True
     elapsed = time.perf_counter() - start
-    count = len(result) if isinstance(result, (list, tuple, set)) else 0
+    count = len(result) if sized and not isinstance(result, (str, bytes)) else 0
     return Measurement(algorithm=label, seconds=elapsed, num_solutions=count)
 
 

@@ -8,10 +8,11 @@ Three subcommands cover the library's day-to-day uses:
   and print the paper-style table;
 * ``repro-mbp datasets``   — list the dataset registry (the Table 1 stand-ins).
 
-``enumerate`` accepts ``--backend {bitset,set}`` to pick the adjacency
-substrate; ``bitset`` (word-parallel bitmasks) is the default and ``set`` is
-the plain-set fallback — both enumerate identical solution sets.  The
-``REPRO_BACKEND`` environment variable overrides the default globally.
+``enumerate`` accepts ``--backend {bitset,set,packed}`` to pick the
+adjacency substrate; ``bitset`` (word-parallel bitmasks) is the default,
+``set`` is the plain-set fallback and ``packed`` adds numpy ``uint64``
+bit-matrix rows (requires numpy) — all enumerate identical solution sets.
+The ``REPRO_BACKEND`` environment variable overrides the default globally.
 
 Run ``repro-mbp <subcommand> --help`` for the full option list.
 """
@@ -28,6 +29,7 @@ from .bench.reporting import format_table
 from .core.itraversal import ITraversal
 from .core.verify import summarize_solutions
 from .graph.io import read_edge_list
+from .graph.packed import PackedBackendUnavailable
 from .graph.protocol import BACKENDS, default_backend
 
 
@@ -56,10 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=BACKENDS,
         help=(
-            "adjacency substrate: 'bitset' (word-parallel bitmasks, the default) "
-            "or 'set' (plain adjacency sets, the fallback); both enumerate "
-            "identical solution sets, and the REPRO_BACKEND environment "
-            "variable overrides the default"
+            "adjacency substrate: 'bitset' (word-parallel bitmasks, the default), "
+            "'packed' (numpy uint64 bit-matrix rows; requires numpy) or 'set' "
+            "(plain adjacency sets, the fallback); all enumerate identical "
+            "solution sets, and the REPRO_BACKEND environment variable "
+            "overrides the default"
         ),
     )
     enumerate_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
@@ -90,16 +93,22 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         graph = load_dataset(args.dataset)
     else:
         graph = read_edge_list(args.input)
-    algorithm = ITraversal(
-        graph,
-        args.k,
-        variant=args.variant,
-        theta_left=args.theta,
-        theta_right=args.theta,
-        max_results=args.max_results,
-        time_limit=args.time_limit,
-        backend=backend,
-    )
+    try:
+        algorithm = ITraversal(
+            graph,
+            args.k,
+            variant=args.variant,
+            theta_left=args.theta,
+            theta_right=args.theta,
+            max_results=args.max_results,
+            time_limit=args.time_limit,
+            backend=backend,
+        )
+    except PackedBackendUnavailable as error:
+        # --backend packed (or REPRO_BACKEND=packed) without numpy; other
+        # RuntimeErrors are real bugs and keep their traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     solutions = algorithm.enumerate()
     if not args.quiet:
         for solution in solutions:
@@ -118,7 +127,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS[args.name]
-    rows = driver()
+    try:
+        rows = driver()
+    except PackedBackendUnavailable as error:
+        # REPRO_BACKEND=packed without numpy: same clean exit as
+        # `enumerate`; any other RuntimeError keeps its traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(format_table(rows, title=f"Experiment {args.name}"))
     return 0
 

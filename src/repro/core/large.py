@@ -44,10 +44,11 @@ class LargeMBPEnumerator:
         Shrink the graph to its ``(θ − k, θ − k)``-core before enumerating
         (always safe; usually much faster).
     backend:
-        Adjacency substrate; ``None`` resolves to
-        :func:`repro.graph.protocol.default_backend` (``bitset`` by
-        default).  The conversion happens *before* the core preprocessing,
-        so the peeling also runs on the word-parallel masked path.
+        Adjacency substrate (``"set"``, ``"bitset"`` or ``"packed"``);
+        ``None`` resolves to :func:`repro.graph.protocol.default_backend`
+        (``bitset`` by default).  The conversion happens *before* the core
+        preprocessing, so the peeling also runs on the word-parallel masked
+        path — fully vectorized on the ``packed`` backend.
     """
 
     def __init__(

@@ -74,8 +74,10 @@ class TraversalConfig:
         Adjacency substrate the engine runs on: ``"bitset"`` (the default —
         the graph is converted to a
         :class:`~repro.graph.bitset.BitsetBipartiteGraph` and the
-        word-parallel bitmask fast paths kick in) or ``"set"`` (the input
-        graph as-is).  Both backends enumerate identical solution sets in
+        word-parallel bitmask fast paths kick in), ``"packed"`` (a
+        :class:`~repro.graph.packed.PackedBipartiteGraph`, masks plus numpy
+        ``uint64`` batch rows; requires numpy) or ``"set"`` (the input
+        graph as-is).  All backends enumerate identical solution sets in
         identical order; the default follows
         :func:`repro.graph.protocol.default_backend` and can be flipped
         globally with the ``REPRO_BACKEND`` environment variable.

@@ -14,15 +14,23 @@ from .generators import (
 )
 from .inflate import inflate, inflated_edge_count, join_vertex_sets, split_vertex_set
 from .io import read_edge_list, read_konect, write_edge_list, write_konect
+from .packed import (
+    PackedBackendUnavailable,
+    PackedBipartiteGraph,
+    PackedGraph,
+    packed_available,
+)
 from .protocol import (
     BACKEND_ENV_VAR,
     BACKENDS,
     BipartiteSubstrate,
     MaskedBipartiteSubstrate,
     as_backend,
+    available_backends,
     default_backend,
     iter_bits,
     mask_of,
+    supports_batch,
     supports_masks,
 )
 
@@ -34,13 +42,19 @@ __all__ = [
     "BACKENDS",
     "BACKEND_ENV_VAR",
     "as_backend",
+    "available_backends",
     "default_backend",
     "iter_bits",
     "mask_of",
+    "supports_batch",
     "supports_masks",
     "Side",
     "Graph",
     "BitsetGraph",
+    "PackedBackendUnavailable",
+    "PackedBipartiteGraph",
+    "PackedGraph",
+    "packed_available",
     "FraudInjection",
     "freeze",
     "sorted_tuple",

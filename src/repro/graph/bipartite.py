@@ -298,6 +298,19 @@ class BipartiteGraph:
 
         return BitsetBipartiteGraph(self._n_left, self._n_right, self.edges())
 
+    def to_packed(self) -> "BipartiteGraph":
+        """Return a packed-numpy copy of this graph.
+
+        The returned :class:`repro.graph.packed.PackedBipartiteGraph`
+        compares equal to ``self``, answers every set and mask query
+        identically, and additionally exposes contiguous ``uint64``
+        bit-matrix rows for whole-side vectorized predicates.  Raises
+        :class:`RuntimeError` when numpy is unavailable.
+        """
+        from .packed import PackedBipartiteGraph
+
+        return PackedBipartiteGraph(self._n_left, self._n_right, self.edges())
+
     # ------------------------------------------------------------------ #
     # Dunder / helpers
     # ------------------------------------------------------------------ #

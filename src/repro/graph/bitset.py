@@ -16,9 +16,11 @@ algorithms word-parallel:
 The class keeps the exact public API of ``BipartiteGraph`` (it *is* one), so
 every existing algorithm runs unchanged on it; the core modules additionally
 detect the mask capability via :func:`repro.graph.protocol.supports_masks`
-and switch to the bitwise fast paths.  Both backends enumerate identical
-solution sets — the fast paths are checked against the set implementation by
-the backend-equivalence test suite.
+and switch to the bitwise fast paths.  All backends (including the
+numpy-backed :class:`repro.graph.packed.PackedBipartiteGraph`, which
+subclasses this one) enumerate identical solution sets — the fast paths are
+checked against the set implementation by the backend-equivalence test
+suite.
 """
 
 from __future__ import annotations

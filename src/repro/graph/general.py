@@ -10,7 +10,9 @@ of the paper).  The maximal k-plex enumerator in
 :class:`BitsetGraph` is the mask-capable sibling (the general-graph analogue
 of :class:`repro.graph.bitset.BitsetBipartiteGraph`): it additionally keeps
 one adjacency bitmask per vertex, which the k-plex enumerator's ``_fits`` /
-``_add`` hot loop turns into word-parallel non-neighbour popcounts.
+``_add`` hot loop turns into word-parallel non-neighbour popcounts.  The
+numpy-backed :class:`repro.graph.packed.PackedGraph` extends it with packed
+``uint64`` rows (``inflate(..., backend="packed")``).
 """
 
 from __future__ import annotations
@@ -127,6 +129,15 @@ class Graph:
     def to_bitset(self) -> "BitsetGraph":
         """Return a mask-capable copy of this graph (see :class:`BitsetGraph`)."""
         return BitsetGraph(self._n, self.edges())
+
+    def to_packed(self) -> "Graph":
+        """Return a packed-numpy copy (see :class:`repro.graph.packed.PackedGraph`).
+
+        Raises :class:`RuntimeError` when numpy is unavailable.
+        """
+        from .packed import PackedGraph
+
+        return PackedGraph(self._n, self.edges())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self._n}, num_edges={self._num_edges})"

@@ -28,7 +28,9 @@ def inflate(graph: BipartiteGraph, backend: str = "set") -> Graph:
     two cliques; cross-side edges are copied from the bipartite graph.
     ``backend="bitset"`` builds a mask-capable :class:`BitsetGraph`, which
     lets the k-plex enumerator running on the inflation use its
-    word-parallel fast paths.
+    word-parallel fast paths; ``backend="packed"`` builds a
+    :class:`repro.graph.packed.PackedGraph` (masks plus numpy ``uint64``
+    rows; requires numpy).
 
     Warning: the inflated graph has ``Θ(|L|² + |R|²)`` edges, which is the
     very reason the inflation baseline does not scale (the paper reports
@@ -39,7 +41,12 @@ def inflate(graph: BipartiteGraph, backend: str = "set") -> Graph:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     n_left = graph.n_left
     n_right = graph.n_right
-    graph_class = BitsetGraph if backend == "bitset" else Graph
+    if backend == "packed":
+        from .packed import PackedGraph
+
+        graph_class = PackedGraph
+    else:
+        graph_class = BitsetGraph if backend == "bitset" else Graph
     inflated = graph_class(n_left + n_right)
     for u in range(n_left):
         for v in range(u + 1, n_left):

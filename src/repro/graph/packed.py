@@ -1,0 +1,286 @@
+"""Packed numpy adjacency backend: contiguous ``uint64`` bit-matrices.
+
+:class:`PackedBipartiteGraph` is the third adjacency substrate behind the
+:mod:`repro.graph.protocol` surface (after plain sets and Python-int
+bitmasks).  Adjacency is stored as one *packed row* per vertex inside a
+contiguous numpy ``uint64`` matrix: bit ``u`` of row ``v`` of the left
+matrix (word ``u // 64``, bit ``u % 64``) is set iff ``(v, u)`` is an edge,
+and symmetrically for the right matrix.
+
+The class *is* a :class:`~repro.graph.bitset.BitsetBipartiteGraph`, so every
+existing mask-based fast path (the traversal engines, iMB, the k-plex
+enumerator, δ-QB checks) runs on it unchanged and produces identical
+solution sets.  What the packed rows add is the *batch* capability
+(:func:`repro.graph.protocol.supports_batch`): whole-side vectorized
+predicates in the style of the BBK implementations (Baudin et al., 2024)
+and the parallel butterfly counters of Wang et al. (VLDB 2019) —
+
+* ``rows(side)`` exposes the full bit-matrix of one side,
+* ``popcount_rows(side, mask)`` computes ``|Γ(v) ∩ S|`` for *every* vertex
+  of a side in one ``np.bitwise_and`` + ``np.bitwise_count`` sweep,
+* ``common_neighbors_matrix(side)`` yields all pairwise common-neighbour
+  counts of a side as a single broadcasted matrix expression.
+
+Butterfly counting and (α, β)-core peeling detect the capability and switch
+to these whole-row operations instead of per-vertex Python-int loops; see
+``graph/butterfly.py`` and ``graph/cores.py``.
+
+numpy is an *optional* dependency: importing this module never fails, but
+constructing a packed graph without a capable numpy (>= 2.0, for
+``np.bitwise_count``) raises a clear :class:`RuntimeError`.  The ``set``
+and ``bitset`` backends are unaffected either way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import List, Optional, Tuple
+
+from .bipartite import BipartiteGraph, Side
+from .bitset import BitsetBipartiteGraph
+from .general import BitsetGraph
+
+try:  # pragma: no cover - exercised via packed_available() in both states
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+_NUMPY_ERROR = (
+    "the 'packed' adjacency backend requires numpy >= 2.0 (np.bitwise_count); "
+    "install numpy or use the 'bitset' / 'set' backends instead"
+)
+
+
+class PackedBackendUnavailable(RuntimeError):
+    """Raised when the packed backend is requested without a capable numpy.
+
+    A :class:`RuntimeError` subclass so generic error handling keeps
+    working, but distinguishable from fail-loud internal errors (callers
+    like the CLI catch exactly this to print a configuration hint instead
+    of swallowing real bugs).
+    """
+
+
+def packed_available() -> bool:
+    """Whether the packed backend can be used (numpy with ``bitwise_count``)."""
+    return _np is not None and hasattr(_np, "bitwise_count")
+
+
+def _require_numpy():
+    if not packed_available():
+        raise PackedBackendUnavailable(_NUMPY_ERROR)
+    return _np
+
+
+def words_for(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bits."""
+    return (max(n_bits, 0) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_mask(mask: int, n_bits: int):
+    """Pack an arbitrary-precision Python-int bitmask into a ``uint64`` row."""
+    np = _require_numpy()
+    n_words = words_for(n_bits)
+    word_mask = (1 << WORD_BITS) - 1
+    return np.array(
+        [(mask >> (WORD_BITS * w)) & word_mask for w in range(n_words)], dtype=np.uint64
+    )
+
+
+def pack_indices(indices, n_bits: int):
+    """Pack an iterable (or bool/index array) of bit positions into a row."""
+    np = _require_numpy()
+    row = np.zeros(words_for(n_bits), dtype=np.uint64)
+    idx = np.asarray(list(indices) if not hasattr(indices, "dtype") else indices)
+    if idx.dtype == bool:
+        idx = np.nonzero(idx)[0]
+    if idx.size:
+        idx = idx.astype(np.uint64)
+        np.bitwise_or.at(
+            row, idx >> np.uint64(6), np.left_shift(np.uint64(1), idx & np.uint64(63))
+        )
+    return row
+
+
+def unpack_row(row) -> int:
+    """Inverse of :func:`pack_mask`: a packed row back to a Python-int mask."""
+    mask = 0
+    for w, word in enumerate(row.tolist()):
+        mask |= word << (WORD_BITS * w)
+    return mask
+
+
+def _side_key(side) -> str:
+    if isinstance(side, Side):
+        return "left" if side is Side.LEFT else "right"
+    if side in ("left", "right"):
+        return side
+    raise ValueError(f"side must be 'left', 'right' or a Side enum, got {side!r}")
+
+
+class PackedBipartiteGraph(BitsetBipartiteGraph):
+    """A bitset bipartite graph that also maintains packed ``uint64`` rows.
+
+    Keeps the Python-int masks of the parent class (so every masked fast
+    path applies) *and* two contiguous numpy matrices — ``(n_left,
+    words(n_right))`` and ``(n_right, words(n_left))`` — kept in lock-step
+    by ``add_edge`` / ``remove_edge``.
+
+    Examples
+    --------
+    >>> g = PackedBipartiteGraph(2, 3, edges=[(0, 0), (0, 2), (1, 1)])
+    >>> int(g.rows("left")[0, 0])
+    5
+    >>> g.popcount_rows("left").tolist()
+    [2, 1]
+    """
+
+    __slots__ = ("_left_rows", "_right_rows")
+
+    #: Capability flag: whole-row vectorized operations are available.
+    supports_batch = True
+
+    def __init__(
+        self,
+        n_left: int,
+        n_right: int,
+        edges: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        np = _require_numpy()
+        # The rows must exist before the base constructor replays ``edges``
+        # through our ``add_edge`` override.
+        self._left_rows = np.zeros((max(n_left, 0), words_for(n_right)), dtype=np.uint64)
+        self._right_rows = np.zeros((max(n_right, 0), words_for(n_left)), dtype=np.uint64)
+        super().__init__(n_left, n_right, edges)
+
+    # ------------------------------------------------------------------ #
+    # Mutation (sets, masks and packed rows stay in lock-step)
+    # ------------------------------------------------------------------ #
+    def add_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        if not super().add_edge(left_vertex, right_vertex):
+            return False
+        self._left_rows[left_vertex, right_vertex >> 6] |= _np.uint64(
+            1 << (right_vertex & 63)
+        )
+        self._right_rows[right_vertex, left_vertex >> 6] |= _np.uint64(
+            1 << (left_vertex & 63)
+        )
+        return True
+
+    def remove_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        if not super().remove_edge(left_vertex, right_vertex):
+            return False
+        self._left_rows[left_vertex, right_vertex >> 6] &= _np.uint64(
+            ~(1 << (right_vertex & 63)) & ((1 << WORD_BITS) - 1)
+        )
+        self._right_rows[right_vertex, left_vertex >> 6] &= _np.uint64(
+            ~(1 << (left_vertex & 63)) & ((1 << WORD_BITS) - 1)
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Batch capability
+    # ------------------------------------------------------------------ #
+    def rows(self, side):
+        """The packed bit-matrix of ``side`` (one ``uint64`` row per vertex).
+
+        The returned array is the live storage — treat it as read-only.
+        """
+        return self._left_rows if _side_key(side) == "left" else self._right_rows
+
+    def row_bits(self, side) -> int:
+        """Number of *meaningful* bits per row of ``side``'s matrix."""
+        return self._n_right if _side_key(side) == "left" else self._n_left
+
+    def popcount_rows(self, side, mask=None):
+        """``|Γ(v) ∩ S|`` for every vertex ``v`` of ``side``, as an int64 vector.
+
+        ``mask`` selects the subset ``S`` of the *other* side: a Python-int
+        bitmask, a packed ``uint64`` row, or ``None`` for the full side.
+        """
+        rows = self.rows(side)
+        if mask is not None:
+            if isinstance(mask, int):
+                mask = pack_mask(mask, self.row_bits(side))
+            rows = rows & mask
+        return _np.bitwise_count(rows).sum(axis=1, dtype=_np.int64)
+
+    def common_neighbors_matrix(self, side, anchors=None, others=None):
+        """Pairwise common-neighbour counts of ``side`` as one broadcast.
+
+        Entry ``(i, j)`` is ``|Γ(anchors[i]) ∩ Γ(others[j])|``; with the
+        defaults (both ``None`` = all vertices) that is the full (n, n)
+        matrix, whose diagonal holds the degrees.  ``anchors`` / ``others``
+        accept anything that indexes rows of the bit-matrix (a ``slice``,
+        an index array, a boolean mask) — the butterfly counter passes row
+        blocks here to bound the ``len(anchors) · len(others) · words``
+        temporary on large sides.
+        """
+        rows = self.rows(side)
+        anchor_rows = rows if anchors is None else rows[anchors]
+        other_rows = rows if others is None else rows[others]
+        return _np.bitwise_count(anchor_rows[:, None, :] & other_rows[None, :, :]).sum(
+            axis=2, dtype=_np.int64
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_packed(self) -> "PackedBipartiteGraph":
+        """Already packed: return ``self`` (no copy)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedBipartiteGraph(n_left={self._n_left}, n_right={self._n_right}, "
+            f"num_edges={self._num_edges})"
+        )
+
+
+class PackedGraph(BitsetGraph):
+    """General-graph sibling of :class:`PackedBipartiteGraph`.
+
+    Used by the inflation pipeline (``inflate(..., backend="packed")``); the
+    k-plex enumerator consumes it through the inherited mask capability,
+    while batch consumers can read the single ``(n, words(n))`` matrix.
+    """
+
+    __slots__ = ("_rows",)
+
+    #: Capability flag: whole-row vectorized operations are available.
+    supports_batch = True
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
+        np = _require_numpy()
+        self._rows = np.zeros((max(n, 0), words_for(n)), dtype=np.uint64)
+        super().__init__(n, edges)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        if not super().add_edge(u, v):
+            return False
+        self._rows[u, v >> 6] |= _np.uint64(1 << (v & 63))
+        self._rows[v, u >> 6] |= _np.uint64(1 << (u & 63))
+        return True
+
+    def rows(self):
+        """The packed adjacency matrix (one ``uint64`` row per vertex)."""
+        return self._rows
+
+    def popcount_rows(self, mask=None):
+        """``|Γ(u) ∩ S|`` for every vertex, as an int64 vector."""
+        rows = self._rows
+        if mask is not None:
+            if isinstance(mask, int):
+                mask = pack_mask(mask, self._n)
+            rows = rows & mask
+        return _np.bitwise_count(rows).sum(axis=1, dtype=_np.int64)
+
+    def to_packed(self) -> "PackedGraph":
+        """Already packed: return ``self`` (no copy)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedGraph(n={self._n}, num_edges={self._num_edges})"

@@ -6,15 +6,29 @@ only use the query surface below: side sizes, adjacency sets and the
 :class:`BipartiteSubstrate` (``BipartiteGraph``, ``BitsetBipartiteGraph``,
 ``MirrorView``) can be handed to the traversal engines.
 
-A substrate may additionally advertise *adjacency masks*: one Python ``int``
-per vertex whose set bits are the neighbour ids on the other side.  Masks
-turn the hot predicates — ``Γ(v, S)`` intersections, ``δ̄(v, S)`` counts,
-``can_add_left/right`` — into word-parallel bitwise operations
-(``&``/``~``/``int.bit_count``), which is where the BBK (Baudin et al.,
-2024) and symmetric-BK (Yu & Long, 2022) implementations get their
-constant-factor speedups from.  Algorithms test for the capability with
-:func:`supports_masks` and fall back to set arithmetic otherwise, so the
-two backends always produce identical solution sets.
+A substrate may additionally advertise optional capabilities, tested with
+duck-typed flags so algorithms degrade gracefully:
+
+* *adjacency masks* (:func:`supports_masks`) — one Python ``int`` per
+  vertex whose set bits are the neighbour ids on the other side.  Masks
+  turn the hot predicates — ``Γ(v, S)`` intersections, ``δ̄(v, S)`` counts,
+  ``can_add_left/right`` — into word-parallel bitwise operations
+  (``&``/``~``/``int.bit_count``), which is where the BBK (Baudin et al.,
+  2024) and symmetric-BK (Yu & Long, 2022) implementations get their
+  constant-factor speedups from.
+* *batch rows* (:func:`supports_batch`) — contiguous numpy ``uint64``
+  bit-matrices, one packed row per vertex
+  (:class:`repro.graph.packed.PackedBipartiteGraph`).  Whole-side
+  predicates (butterfly common-neighbour counts, core-peeling degree
+  updates) become single vectorized ``np.bitwise_and`` + popcount sweeps,
+  the layout used by BBK-style implementations and the parallel butterfly
+  counters of Wang et al. (VLDB 2019).
+
+The backend matrix is therefore ``set`` (plain adjacency sets, always
+available), ``bitset`` (masks; the default) and ``packed`` (masks *and*
+batch rows; requires numpy — unavailable numpy makes only this backend
+error, with a clear message).  All three produce identical solution sets;
+the equivalence suite pins that property.
 """
 
 from __future__ import annotations
@@ -23,7 +37,7 @@ import os
 from typing import Iterable, Iterator, Protocol, Set, runtime_checkable
 
 #: Names accepted by :func:`as_backend` and ``TraversalConfig.backend``.
-BACKENDS = ("set", "bitset")
+BACKENDS = ("set", "bitset", "packed")
 
 #: Environment variable overriding :func:`default_backend`.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -34,10 +48,11 @@ def default_backend() -> str:
 
     ``bitset`` is the default everywhere (``TraversalConfig``, the CLI, the
     baselines): the word-parallel fast paths win on every workload we
-    benchmark and both backends are proven to enumerate identical solution
-    sets.  Set the ``REPRO_BACKEND`` environment variable to ``set`` to fall
-    back to plain-set adjacency globally — CI runs the whole test suite once
-    per backend through exactly this knob.
+    benchmark, need no third-party dependency, and all backends are proven
+    to enumerate identical solution sets.  Set the ``REPRO_BACKEND``
+    environment variable to ``set`` for plain-set adjacency or ``packed``
+    for the numpy bit-matrix substrate globally — CI runs the whole test
+    suite once per backend through exactly this knob.
     """
     backend = os.environ.get(BACKEND_ENV_VAR, "bitset")
     if backend not in BACKENDS:
@@ -95,9 +110,33 @@ class MaskedBipartiteSubstrate(BipartiteSubstrate, Protocol):
         ...
 
 
+def available_backends() -> tuple:
+    """The subset of :data:`BACKENDS` usable in this environment.
+
+    ``set`` and ``bitset`` are always available; ``packed`` only when a
+    numpy with ``bitwise_count`` (>= 2.0) can be imported.
+    """
+    from .packed import packed_available
+
+    if packed_available():
+        return BACKENDS
+    return tuple(backend for backend in BACKENDS if backend != "packed")
+
+
 def supports_masks(graph: object) -> bool:
     """Whether ``graph`` advertises the adjacency-mask capability."""
     return bool(getattr(graph, "supports_masks", False))
+
+
+def supports_batch(graph: object) -> bool:
+    """Whether ``graph`` advertises the packed-row batch capability.
+
+    Batch-capable substrates (:class:`repro.graph.packed.PackedBipartiteGraph`
+    and :class:`~repro.graph.packed.PackedGraph`) expose ``rows`` /
+    ``popcount_rows`` for whole-side vectorized predicates; algorithms that
+    cannot use them fall back to the mask or set paths.
+    """
+    return bool(getattr(graph, "supports_batch", False))
 
 
 def mask_of(vertex_ids: Iterable[int]) -> int:
@@ -121,10 +160,15 @@ def as_backend(graph, backend: str):
 
     ``"set"`` is a no-op (every substrate answers set queries); ``"bitset"``
     converts via ``graph.to_bitset()`` unless the graph already exposes
-    masks.  Raises :class:`ValueError` for unknown backend names.
+    masks; ``"packed"`` converts via ``graph.to_packed()`` unless the graph
+    already exposes batch rows (and raises a clear :class:`RuntimeError`
+    when numpy is unavailable).  Raises :class:`ValueError` for unknown
+    backend names.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if backend == "bitset" and not supports_masks(graph):
         return graph.to_bitset()
+    if backend == "packed" and not supports_batch(graph):
+        return graph.to_packed()
     return graph

@@ -1,0 +1,23 @@
+"""The adjacency-backend matrix shared by the parametrized equivalence tests.
+
+Lives in its own module (not ``conftest``) so test files can import it
+without colliding with the benchmarks' ``conftest`` when pytest collects
+both directories in one run.
+"""
+
+import pytest
+
+from repro.graph import packed_available
+
+#: The full backend matrix for parametrized equivalence tests; ``packed`` is
+#: skipped (not failed) on interpreters without a capable numpy.
+ALL_BACKENDS = (
+    "set",
+    "bitset",
+    pytest.param(
+        "packed",
+        marks=pytest.mark.skipif(
+            not packed_available(), reason="packed backend requires numpy >= 2.0"
+        ),
+    ),
+)

@@ -1,8 +1,10 @@
-"""Tests for the bitset substrate and set/bitset backend equivalence."""
+"""Tests for the bitset substrate and the set/bitset/packed backend matrix."""
 
 import random
 
 import pytest
+
+from backend_matrix import ALL_BACKENDS
 
 from repro.core import (
     BTraversal,
@@ -184,26 +186,30 @@ class TestMaskedPrimitives:
 
 
 class TestBackendEquivalence:
-    """Property-style check: both backends enumerate identical MBP sets."""
+    """Property-style check: every backend enumerates the identical MBP *list*
+    (same solutions in the same order) as the plain-set reference."""
 
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     @pytest.mark.parametrize("k", [1, 2])
-    def test_itraversal_backends_agree(self, k):
+    def test_itraversal_backends_agree(self, k, backend):
         for graph in random_graphs(6, max_side=6, seed=1):
-            expected = sorted(s.key() for s in ITraversal(graph, k).enumerate())
-            got = sorted(s.key() for s in ITraversal(graph, k, backend="bitset").enumerate())
+            expected = [s.key() for s in ITraversal(graph, k, backend="set").enumerate()]
+            got = [s.key() for s in ITraversal(graph, k, backend=backend).enumerate()]
             assert got == expected
 
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     @pytest.mark.parametrize("k", [1, 2])
-    def test_btraversal_backends_agree(self, k):
+    def test_btraversal_backends_agree(self, k, backend):
         for graph in random_graphs(6, max_side=6, seed=2):
-            expected = sorted(s.key() for s in BTraversal(graph, k).enumerate())
-            got = sorted(s.key() for s in BTraversal(graph, k, backend="bitset").enumerate())
+            expected = [s.key() for s in BTraversal(graph, k, backend="set").enumerate()]
+            got = [s.key() for s in BTraversal(graph, k, backend=backend).enumerate()]
             assert got == expected
 
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     @pytest.mark.parametrize("variant", ["full", "no-exclusion", "left-anchored-only"])
-    def test_variants_agree_on_example(self, example_graph, variant):
-        expected = set(ITraversal(example_graph, 1, variant=variant).enumerate())
-        got = set(ITraversal(example_graph, 1, variant=variant, backend="bitset").enumerate())
+    def test_variants_agree_on_example(self, example_graph, variant, backend):
+        expected = set(ITraversal(example_graph, 1, variant=variant, backend="set").enumerate())
+        got = set(ITraversal(example_graph, 1, variant=variant, backend=backend).enumerate())
         assert got == expected
 
     def test_bitset_input_graph_used_directly(self, example_graph):
@@ -211,13 +217,14 @@ class TestBackendEquivalence:
         expected = set(ITraversal(example_graph, 1).enumerate())
         assert set(ITraversal(bitset, 1).enumerate()) == expected
 
-    def test_stats_counters_identical(self, example_graph):
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_stats_counters_identical(self, example_graph, backend):
         _, set_stats = run_with_stats(example_graph, 1, TraversalConfig(backend="set"))
-        _, bitset_stats = run_with_stats(example_graph, 1, TraversalConfig(backend="bitset"))
-        assert set_stats.num_solutions == bitset_stats.num_solutions
-        assert set_stats.num_links == bitset_stats.num_links
-        assert set_stats.num_almost_sat_graphs == bitset_stats.num_almost_sat_graphs
-        assert set_stats.num_local_solutions == bitset_stats.num_local_solutions
+        _, stats = run_with_stats(example_graph, 1, TraversalConfig(backend=backend))
+        assert set_stats.num_solutions == stats.num_solutions
+        assert set_stats.num_links == stats.num_links
+        assert set_stats.num_almost_sat_graphs == stats.num_almost_sat_graphs
+        assert set_stats.num_local_solutions == stats.num_local_solutions
 
     def test_config_rejects_unknown_backend(self):
         with pytest.raises(ValueError):
@@ -241,6 +248,8 @@ class TestDefaultBackend:
         monkeypatch.setenv(BACKEND_ENV_VAR, "set")
         assert default_backend() == "set"
         assert TraversalConfig().backend == "set"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "packed")
+        assert default_backend() == "packed"
         monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
         with pytest.raises(ValueError):
             default_backend()

@@ -1,5 +1,7 @@
 """Tests for the baseline algorithms: brute force, iMB, k-plex, inflation, biclique, δ-QB."""
 
+import time
+
 import pytest
 
 from repro.baselines import (
@@ -17,6 +19,7 @@ from repro.baselines import (
     is_maximal_kplex,
     is_quasi_biclique,
     maximum_biclique_greedy,
+    quasi_biclique_seed_k,
 )
 from repro.baselines.faplexen import FaPlexenPipeline
 from repro.core import is_maximal_k_biplex
@@ -75,6 +78,18 @@ class TestIMB:
         enumerator.enumerate()
         assert enumerator.truncated
 
+    def test_reenumeration_restarts_the_clock(self, example_graph):
+        # A second enumerate() on the same object must not inherit a stale
+        # _start: simulate the stale state an aged object would carry and
+        # check the fresh run still completes without tripping the limit.
+        enumerator = IMB(example_graph, 1, time_limit=60.0)
+        first = enumerator.enumerate()
+        enumerator._start = time.perf_counter() - 10_000.0
+        second = enumerator.enumerate()
+        assert not enumerator.truncated
+        assert set(second) == set(first)
+        assert time.perf_counter() - enumerator._start < 60.0
+
     def test_k_zero_yields_bicliques(self, example_graph):
         for solution in enumerate_mbps_imb(example_graph, 0, theta_left=1, theta_right=1):
             assert is_biclique(example_graph, solution.left, solution.right)
@@ -123,6 +138,20 @@ class TestKPlex:
     def test_max_results(self):
         graph = Graph(4, edges=[(0, 1), (2, 3)])
         assert len(enumerate_maximal_kplexes(graph, 1, max_results=1)) == 1
+
+    def test_reenumeration_restarts_the_clock(self):
+        from repro.baselines.kplex import _KPlexEnumerator
+
+        graph = Graph(5, edges=[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)])
+        enumerator = _KPlexEnumerator(graph, 1, time_limit=60.0)
+        first = enumerator.run()
+        # Simulate the stale _start a long-lived object would carry into a
+        # second run; the fresh run must reset it rather than inherit it.
+        enumerator._start = time.perf_counter() - 10_000.0
+        second = enumerator.run()
+        assert not enumerator.truncated
+        assert {frozenset(p) for p in second} == {frozenset(p) for p in first}
+        assert time.perf_counter() - enumerator._start < 60.0
 
 
 class TestInflationPipeline:
@@ -280,3 +309,29 @@ class TestQuasiBiclique:
         seeds = [Biplex.of([4], [0, 1, 2, 3, 4])]
         structures = find_quasi_bicliques_greedy(example_graph, 0.4, 1, 3, seeds=seeds)
         assert structures, "the seed itself satisfies the constraints"
+
+    def test_seed_k_formula(self):
+        # k = max(1, floor(delta * min(theta_L, theta_R))): the largest k for
+        # which every k-biplex meeting the thresholds is guaranteed a δ-QB.
+        assert quasi_biclique_seed_k(0.25, 4, 4) == 1
+        assert quasi_biclique_seed_k(0.5, 4, 8) == 2    # min side governs
+        assert quasi_biclique_seed_k(0.5, 8, 4) == 2    # symmetric in the thetas
+        assert quasi_biclique_seed_k(0.3, 4, 4) == 1    # floor, not ceil
+        assert quasi_biclique_seed_k(0.1, 2, 2) == 1    # clamped to >= 1
+        assert quasi_biclique_seed_k(0.75, 8, 8) == 6
+
+    @pytest.mark.parametrize("delta,theta_left,theta_right", [(0.5, 4, 8), (0.75, 4, 4)])
+    def test_unclamped_seed_k_biplexes_are_qbs(self, delta, theta_left, theta_right):
+        # Whenever the clamp does not kick in, *every* k_seed-biplex meeting
+        # the thresholds must already satisfy the δ-QB budgets (which is the
+        # guarantee the seeding is derived from).
+        k_seed = quasi_biclique_seed_k(delta, theta_left, theta_right)
+        assert k_seed <= delta * min(theta_left, theta_right)
+        graph = erdos_renyi_bipartite(10, 10, num_edges=70, seed=9)
+        from repro.core import ITraversal
+
+        seeds = ITraversal(
+            graph, k_seed, theta_left=theta_left, theta_right=theta_right
+        ).enumerate()
+        for seed in seeds:
+            assert is_quasi_biclique(graph, seed.left, seed.right, delta)

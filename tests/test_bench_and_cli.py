@@ -81,6 +81,27 @@ class TestHarness:
         assert measurement.num_solutions == 3
         assert measurement.seconds >= 0
 
+    def test_time_call_counts_lazy_iterables(self):
+        # Generators must be materialised (inside the timed window) instead
+        # of silently reporting num_solutions=0.
+        def generator():
+            yield from range(4)
+
+        measurement = time_call(generator, label="lazy")
+        assert measurement.num_solutions == 4
+        assert measurement.seconds >= 0
+        assert time_call(lambda: iter((1, 2)), label="iter").num_solutions == 2
+        assert time_call(lambda: frozenset({1, 2, 3}), label="fs").num_solutions == 3
+        assert time_call(lambda: None, label="none").num_solutions == 0
+        assert time_call(lambda: 42, label="scalar").num_solutions == 0
+
+    def test_display_without_seconds_or_marker(self):
+        # A measurement that never produced a timing must not leak None into
+        # the report tables; INF is the paper's "did not finish" marker.
+        assert Measurement(algorithm="x", seconds=None).display == INF
+        assert Measurement(algorithm="x", seconds=1.5).display == 1.5
+        assert Measurement(algorithm="x", seconds=None, marker=OUT).display == OUT
+
     def test_run_itraversal_measurement(self, example_graph):
         measurement = run_itraversal(example_graph, 1, max_results=5, time_limit=10.0)
         assert measurement.marker is None

@@ -2,6 +2,8 @@
 
 import pytest
 
+from backend_matrix import ALL_BACKENDS
+
 from repro.graph import (
     BipartiteGraph,
     Graph,
@@ -137,6 +139,25 @@ class TestCores:
         assert left == set(example_graph.left_vertices())
         assert right == set(example_graph.right_vertices())
 
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_core_backends_agree(self, backend):
+        from repro.graph import as_backend
+
+        for seed in range(3):
+            graph = erdos_renyi_bipartite(9, 7, num_edges=25 + seed * 5, seed=seed)
+            converted = as_backend(graph, backend)
+            for alpha, beta in ((0, 0), (1, 1), (2, 3), (3, 2), (6, 6)):
+                assert alpha_beta_core(converted, alpha, beta) == alpha_beta_core(
+                    graph, alpha, beta
+                )
+        # Side sizes beyond 64 force multi-word packed rows.
+        wide = erdos_renyi_bipartite(130, 70, num_edges=700, seed=23)
+        converted = as_backend(wide, backend)
+        for bound in (3, 5, 8):
+            assert alpha_beta_core(converted, bound, bound) == alpha_beta_core(
+                wide, bound, bound
+            )
+
 
 class TestButterflies:
     def test_single_butterfly(self):
@@ -208,10 +229,15 @@ class TestButterflies:
                 for v, u in to_remove:
                     working.remove_edge(v, u)
 
+        from repro.graph import packed_available
+
         for seed in range(4):
             graph = erdos_renyi_bipartite(6, 6, num_edges=18 + seed * 4, seed=seed)
+            backend_graphs = [graph, graph.to_bitset()]
+            if packed_available():
+                backend_graphs.append(graph.to_packed())
             for k in (1, 2, 3):
-                for backend_graph in (graph, graph.to_bitset()):
+                for backend_graph in backend_graphs:
                     assert sorted(k_bitruss(backend_graph, k).edges()) == sorted(
                         naive_k_bitruss(graph, k).edges()
                     )
@@ -232,12 +258,24 @@ class TestButterflies:
             assert _count_from_side(graph, from_left=False) == expected
             assert count_butterflies(graph) == expected
 
-    def test_butterfly_backends_agree(self):
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_butterfly_backends_agree(self, backend):
+        from repro.graph import as_backend
+
         for seed in range(3):
             graph = erdos_renyi_bipartite(6, 9, num_edges=20 + seed * 3, seed=seed)
-            bitset = graph.to_bitset()
-            assert count_butterflies(bitset) == count_butterflies(graph)
-            assert edge_butterfly_counts(bitset) == edge_butterfly_counts(graph)
+            converted = as_backend(graph, backend)
+            assert count_butterflies(converted) == count_butterflies(graph)
+            assert edge_butterfly_counts(converted) == edge_butterfly_counts(graph)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_butterfly_backends_agree_beyond_one_word(self, backend):
+        # Side sizes beyond 64 force multi-word packed rows.
+        from repro.graph import as_backend
+
+        graph = erdos_renyi_bipartite(70, 130, num_edges=650, seed=17)
+        converted = as_backend(graph, backend)
+        assert count_butterflies(converted) == count_butterflies(graph)
 
 
 class TestBitsetGeneralGraph:
@@ -266,6 +304,16 @@ class TestBitsetGeneralGraph:
         assert sorted(masked.edges()) == sorted(plain.edges())
         with pytest.raises(ValueError):
             inflate(tiny_graph, backend="numpy")
+
+    def test_inflate_packed_backend(self, tiny_graph):
+        from repro.graph import PackedGraph, inflate, packed_available, supports_batch
+
+        if not packed_available():
+            pytest.skip("packed backend requires numpy >= 2.0")
+        packed = inflate(tiny_graph, backend="packed")
+        assert isinstance(packed, PackedGraph)
+        assert supports_batch(packed)
+        assert sorted(packed.edges()) == sorted(inflate(tiny_graph).edges())
 
 
 class TestGenerators:

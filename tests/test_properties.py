@@ -28,7 +28,7 @@ from repro.core.enum_almost_sat import (
     enum_local_solutions,
     enum_local_solutions_naive,
 )
-from repro.graph import BACKENDS, BipartiteGraph, as_backend
+from repro.graph import BipartiteGraph, as_backend, available_backends
 from repro.graph.butterfly import count_butterflies, edge_butterfly_counts, k_bitruss
 from repro.graph.cores import alpha_beta_core
 
@@ -137,7 +137,7 @@ class TestCrossAlgorithmEquivalence:
         from repro.baselines import enumerate_mbps_inflation
 
         reference = set(enumerate_mbps_bruteforce(graph, k))
-        for backend in ("set", "bitset"):
+        for backend in available_backends():
             assert set(ITraversal(graph, k, backend=backend).enumerate()) == reference
             assert set(BTraversal(graph, k, backend=backend).enumerate()) == reference
             assert set(enumerate_mbps_imb(graph, k, backend=backend)) == reference
@@ -256,21 +256,21 @@ class TestCoreProperties:
     @given(graph=asymmetric_graphs)
     def test_butterfly_count_matches_bruteforce_on_both_backends(self, graph):
         expected = _bruteforce_butterflies(graph)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert count_butterflies(as_backend(graph, backend)) == expected
 
     @SETTINGS
     @given(graph=asymmetric_graphs)
     def test_edge_supports_match_bruteforce_on_both_backends(self, graph):
         expected = _bruteforce_edge_supports(graph)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert edge_butterfly_counts(as_backend(graph, backend)) == expected
 
     @SETTINGS
     @given(graph=asymmetric_graphs, k=st.integers(min_value=1, max_value=3))
     def test_k_bitruss_backends_agree_and_supports_hold(self, graph, k):
         expected_edges = sorted(k_bitruss(graph, k).edges())
-        for backend in BACKENDS:
+        for backend in available_backends():
             truss = k_bitruss(as_backend(graph, backend), k)
             assert sorted(truss.edges()) == expected_edges
             assert all(count >= k for count in edge_butterfly_counts(truss).values())
@@ -283,7 +283,7 @@ class TestCoreProperties:
     )
     def test_core_matches_bruteforce_on_both_backends(self, graph, alpha, beta):
         expected = _bruteforce_alpha_beta_core(graph, alpha, beta)
-        for backend in BACKENDS:
+        for backend in available_backends():
             assert alpha_beta_core(as_backend(graph, backend), alpha, beta) == expected
 
     @SETTINGS

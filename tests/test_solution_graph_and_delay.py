@@ -108,13 +108,43 @@ class TestDelay:
         assert record.max_delay >= 0
         assert record.total_time >= sum(record.delays) * 0.5
 
-    def test_delays_include_trailing_gap(self, example_graph):
+    def test_termination_gap_recorded_separately(self, example_graph):
         solutions, record = measure_delay(lambda: ITraversal(example_graph, 1).run())
-        assert len(record.delays) == len(solutions) + 1
+        assert len(record.delays) == len(solutions)
+        assert record.termination_gap is not None
+        assert record.termination_gap >= 0
 
     def test_mean_delay_at_most_max_delay(self, example_graph):
         _, record = measure_delay(lambda: ITraversal(example_graph, 1).run())
         assert record.mean_delay <= record.max_delay + 1e-12
+
+    def test_both_recorders_implement_the_same_definition(self):
+        """measure_delay and DelayInstrumentedIterator must fill DelayRecord
+        identically: one delay per solution, the paper's trailing
+        last-output-to-termination gap in ``termination_gap``, and a
+        ``mean_delay`` over solution gaps only."""
+
+        def make_generator():
+            def generator():
+                yield "a"
+                time.sleep(0.015)
+                yield "b"
+                time.sleep(0.03)  # trailing work after the last solution
+
+            return generator()
+
+        _, measured = measure_delay(make_generator)
+        instrumented = DelayInstrumentedIterator(make_generator())
+        list(instrumented)
+        for record in (measured, instrumented.record):
+            assert record.num_solutions == 2
+            assert len(record.delays) == 2
+            assert record.termination_gap is not None
+            assert record.termination_gap >= 0.03
+            # max_delay covers the trailing gap, mean_delay excludes it.
+            assert record.max_delay >= record.termination_gap
+            assert record.mean_delay <= max(record.delays)
+            assert record.total_time >= sum(record.delays) + record.termination_gap - 1e-9
 
     def test_measure_delay_on_slow_iterator(self):
         def generator():
@@ -129,14 +159,22 @@ class TestDelay:
         iterator = DelayInstrumentedIterator(BTraversal(example_graph, 1).run())
         items = list(iterator)
         assert iterator.record.num_solutions == len(items)
-        assert len(iterator.record.delays) == len(items) + 1
+        assert len(iterator.record.delays) == len(items)
+        assert iterator.record.termination_gap is not None
         assert iterator.record.total_time > 0
 
     def test_instrumented_iterator_empty(self):
         iterator = DelayInstrumentedIterator(iter(()))
         assert list(iterator) == []
         assert iterator.record.num_solutions == 0
+        assert iterator.record.delays == []
         assert iterator.record.max_delay >= 0
+
+    def test_instrumented_iterator_early_stop_leaves_termination_unset(self, example_graph):
+        iterator = DelayInstrumentedIterator(ITraversal(example_graph, 1).run())
+        next(iterator)
+        assert iterator.record.num_solutions == 1
+        assert iterator.record.termination_gap is None
 
     def test_alternating_output_reduces_worst_gap_structure(self, example_graph):
         """The alternating order must not change the solution set (sanity)."""
