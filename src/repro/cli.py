@@ -10,9 +10,11 @@ Three subcommands cover the library's day-to-day uses:
 
 ``enumerate`` accepts ``--backend {bitset,set,packed}`` to pick the
 adjacency substrate; ``bitset`` (word-parallel bitmasks) is the default,
-``set`` is the plain-set fallback and ``packed`` adds numpy ``uint64``
-bit-matrix rows (requires numpy) — all enumerate identical solution sets.
-The ``REPRO_BACKEND`` environment variable overrides the default globally.
+``set`` is the plain-set fallback and ``packed`` adds ``uint64`` bit-matrix
+rows — numpy-vectorized when numpy >= 2.0 is installed, an ``array('Q')``
+fallback with identical results otherwise.  All backends enumerate
+identical solution sets.  The ``REPRO_BACKEND`` environment variable
+overrides the default globally.
 
 Run ``repro-mbp <subcommand> --help`` for the full option list.
 """
@@ -59,10 +61,10 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         help=(
             "adjacency substrate: 'bitset' (word-parallel bitmasks, the default), "
-            "'packed' (numpy uint64 bit-matrix rows; requires numpy) or 'set' "
-            "(plain adjacency sets, the fallback); all enumerate identical "
-            "solution sets, and the REPRO_BACKEND environment variable "
-            "overrides the default"
+            "'packed' (uint64 bit-matrix rows; vectorized with numpy >= 2.0, "
+            "numpy-free array('Q') fallback otherwise) or 'set' (plain "
+            "adjacency sets); all enumerate identical solution sets, and the "
+            "REPRO_BACKEND environment variable overrides the default"
         ),
     )
     enumerate_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
@@ -105,8 +107,10 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             backend=backend,
         )
     except PackedBackendUnavailable as error:
-        # --backend packed (or REPRO_BACKEND=packed) without numpy; other
-        # RuntimeErrors are real bugs and keep their traceback.
+        # Defensive: conversions auto-select the array('Q') fallback when
+        # numpy is absent, so only a direct construction of the numpy
+        # classes can land here; other RuntimeErrors are real bugs and keep
+        # their traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
     solutions = algorithm.enumerate()
@@ -130,8 +134,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
     try:
         rows = driver()
     except PackedBackendUnavailable as error:
-        # REPRO_BACKEND=packed without numpy: same clean exit as
-        # `enumerate`; any other RuntimeError keeps its traceback.
+        # Defensive, as in `enumerate`: the packed conversions degrade to
+        # the fallback on their own; any other RuntimeError keeps its
+        # traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_table(rows, title=f"Experiment {args.name}"))

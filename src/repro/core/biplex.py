@@ -18,7 +18,13 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph
-from ..graph.protocol import iter_bits, mask_of, supports_masks
+from ..graph.protocol import (
+    BATCH_SWEEP_MIN_SIDE,
+    iter_bits,
+    mask_of,
+    supports_masks,
+    supports_vector_batch,
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -73,16 +79,35 @@ def is_k_biplex(
     Definition 2.1: every left vertex misses at most ``k`` vertices of
     ``right`` and every right vertex misses at most ``k`` vertices of
     ``left``.  Empty sides are allowed (``(∅, R)`` is always a k-biplex).
+
+    On a vectorized batch substrate, each side large enough to clear the
+    sweep crossover gets its miss counts from one ``popcount_rows`` sweep
+    (``δ̄(v, S) = |S| − |Γ(v) ∩ S|``) instead of a per-vertex mask loop.
     """
     if supports_masks(graph):
-        left_mask = mask_of(left)
-        right_mask = mask_of(right)
-        for v in iter_bits(left_mask):
-            if (right_mask & ~graph.adj_left_mask(v)).bit_count() > k:
+        left_set = set(left)
+        right_set = set(right)
+        left_mask = mask_of(left_set)
+        right_mask = mask_of(right_set)
+        batch = supports_vector_batch(graph)
+        if batch and left_set and graph.n_left >= BATCH_SWEEP_MIN_SIDE:
+            hits = graph.popcount_rows("left", right_mask).tolist()
+            size = len(right_set)
+            if any(size - hits[v] > k for v in left_set):
                 return False
-        for u in iter_bits(right_mask):
-            if (left_mask & ~graph.adj_right_mask(u)).bit_count() > k:
+        else:
+            for v in left_set:
+                if (right_mask & ~graph.adj_left_mask(v)).bit_count() > k:
+                    return False
+        if batch and right_set and graph.n_right >= BATCH_SWEEP_MIN_SIDE:
+            hits = graph.popcount_rows("right", left_mask).tolist()
+            size = len(left_set)
+            if any(size - hits[u] > k for u in right_set):
                 return False
+        else:
+            for u in right_set:
+                if (left_mask & ~graph.adj_right_mask(u)).bit_count() > k:
+                    return False
         return True
     left_set = set(left)
     right_set = set(right)
@@ -215,8 +240,22 @@ def is_maximal_k_biplex(
     right_set = set(right)
     if not is_k_biplex(graph, left_set, right_set, k):
         return False
-    left_pool = graph.left_vertices() if candidate_left is None else candidate_left
-    right_pool = graph.right_vertices() if candidate_right is None else candidate_right
+    left_pool = graph.left_vertices() if candidate_left is None else list(candidate_left)
+    right_pool = graph.right_vertices() if candidate_right is None else list(candidate_right)
+    if supports_vector_batch(graph):
+        # One popcount sweep per side scores every candidate at once: a
+        # vertex missing more than k vertices of the other side can never be
+        # added, so only the (few) survivors reach the exact probe.  Each
+        # sweep is gated on its pool clearing the crossover — the restricted
+        # pools of the local-maximality checks stay on the direct probes.
+        if len(left_pool) >= BATCH_SWEEP_MIN_SIDE:
+            hits = graph.popcount_rows("left", mask_of(right_set)).tolist()
+            budget = len(right_set) - k
+            left_pool = [v for v in left_pool if hits[v] >= budget]
+        if len(right_pool) >= BATCH_SWEEP_MIN_SIDE:
+            hits = graph.popcount_rows("right", mask_of(left_set)).tolist()
+            budget = len(left_set) - k
+            right_pool = [u for u in right_pool if hits[u] >= budget]
     for v in left_pool:
         if v not in left_set and can_add_left(graph, left_set, right_set, v, k):
             return False
@@ -314,6 +353,14 @@ def _extend_to_maximal_masked(
     """
     adj_left_mask = graph.adj_left_mask
     adj_right_mask = graph.adj_right_mask
+    # One sweep per extension call: gate each side on its size so small
+    # graphs keep the (cheaper) pure mask path.
+    batch_left = (
+        supports_vector_batch(graph) and graph.n_left >= BATCH_SWEEP_MIN_SIDE
+    )
+    batch_right = (
+        supports_vector_batch(graph) and graph.n_right >= BATCH_SWEEP_MIN_SIDE
+    )
     left_set = set(left)
     right_set = set(right)
     left_mask = mask_of(left_set)
@@ -333,7 +380,15 @@ def _extend_to_maximal_masked(
     for u in right_set:
         right_miss[u] = (left_mask & ~adj_right_mask(u)).bit_count()
 
-    for v in _extension_candidates(left_pool, left_set, right_set, k, graph.neighbors_of_right):
+    if batch_left:
+        left_candidates = _extension_candidates_batch(
+            graph, "left", left_pool, left_set, right_mask, len(right_set), k
+        )
+    else:
+        left_candidates = _extension_candidates(
+            left_pool, left_set, right_set, k, graph.neighbors_of_right
+        )
+    for v in left_candidates:
         missed = right_mask & ~adj_left_mask(v)
         count = missed.bit_count()
         if count > k:
@@ -356,7 +411,15 @@ def _extend_to_maximal_masked(
             right_miss[low.bit_length() - 1] += 1
             missed ^= low
 
-    for u in _extension_candidates(right_pool, right_set, left_set, k, graph.neighbors_of_left):
+    if batch_right:
+        right_candidates = _extension_candidates_batch(
+            graph, "right", right_pool, right_set, left_mask, len(left_set), k
+        )
+    else:
+        right_candidates = _extension_candidates(
+            right_pool, right_set, left_set, k, graph.neighbors_of_left
+        )
+    for u in right_candidates:
         missed = left_mask & ~adj_right_mask(u)
         count = missed.bit_count()
         if count > k:
@@ -412,6 +475,30 @@ def _extension_candidates(pool, own_side, other_side, k, other_neighbors):
     return [v for v in pool if v in eligible_set]
 
 
+def _extension_candidates_batch(
+    graph, side: str, pool, own_side, other_mask: int, other_size: int, k: int
+):
+    """Vectorized twin of :func:`_extension_candidates` for batch substrates.
+
+    One ``popcount_rows`` sweep scores ``|Γ(v) ∩ other|`` for the *whole*
+    side; the eligibility threshold (at least ``|other| − k`` adjacencies)
+    is then a vectorized comparison instead of a per-edge counting dict.
+    Returns the same candidates in the same order as the counting version.
+    """
+    if not pool:
+        return []
+    if other_size <= k:
+        return [v for v in pool if v not in own_side]
+    hits = graph.popcount_rows(side, other_mask)
+    eligible = (hits >= other_size - k).nonzero()[0]
+    if isinstance(pool, range) and pool.start == 0 and pool.step == 1:
+        # nonzero() yields ascending ids, matching the sorted() of the
+        # counting version on the full-side pool.
+        return [v for v in eligible.tolist() if v < pool.stop and v not in own_side]
+    eligible_set = set(eligible.tolist())
+    return [v for v in pool if v in eligible_set and v not in own_side]
+
+
 def initial_solution_left_anchored(graph: BipartiteGraph, k: int) -> Biplex:
     """The designated initial solution ``H0 = (L0, R)`` of iTraversal.
 
@@ -425,7 +512,15 @@ def initial_solution_left_anchored(graph: BipartiteGraph, k: int) -> Biplex:
         full_right = (1 << graph.n_right) - 1
         right_miss = [0] * graph.n_right
         left_mask = 0
-        for v in range(graph.n_left):
+        if supports_vector_batch(graph):
+            # δ̄(v, R) = |R| − deg(v): one degree sweep rules out every
+            # vertex missing more than k right vertices before the
+            # (sequential, order-sensitive) greedy loop below.
+            degrees = graph.popcount_rows("left")
+            candidates = (degrees >= graph.n_right - k).nonzero()[0].tolist()
+        else:
+            candidates = range(graph.n_left)
+        for v in candidates:
             missed = full_right & ~adj_left_mask(v)
             if missed.bit_count() > k:
                 continue
@@ -450,7 +545,12 @@ def initial_solution_right_anchored(graph: BipartiteGraph, k: int) -> Biplex:
         full_left = (1 << graph.n_left) - 1
         left_miss = [0] * graph.n_left
         right_mask = 0
-        for u in range(graph.n_right):
+        if supports_vector_batch(graph):
+            degrees = graph.popcount_rows("right")
+            candidates = (degrees >= graph.n_left - k).nonzero()[0].tolist()
+        else:
+            candidates = range(graph.n_right)
+        for u in candidates:
             missed = full_left & ~adj_right_mask(u)
             if missed.bit_count() > k:
                 continue

@@ -38,7 +38,7 @@ from itertools import combinations
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph
-from ..graph.protocol import iter_bits, mask_of, supports_masks
+from ..graph.protocol import iter_bits, mask_of, supports_masks, supports_vector_batch
 from .biplex import (
     Biplex,
     can_add_left,
@@ -145,9 +145,17 @@ def enum_local_solutions(
     r_keep = right & v_adjacency
     r_enum = sorted(right - v_adjacency)
 
-    # Miss counts of the enumerable right vertices w.r.t. the *current* left side.
+    # Miss counts of the enumerable right vertices w.r.t. the *current* left
+    # side.  A vectorized batch substrate scores the whole right side in one
+    # popcount sweep (δ̄(u, L) = |L| − |Γ(u) ∩ L|); the traversal engines
+    # normally pass the counts in precomputed, so this path serves direct
+    # callers.
     if solution_right_missing is not None:
         right_missing = solution_right_missing
+    elif left_mask is not None and supports_vector_batch(graph):
+        hits = graph.popcount_rows("right", left_mask).tolist()
+        size = len(left)
+        right_missing = {u: size - hits[u] for u in r_enum}
     elif left_mask is not None:
         right_missing = {
             u: (left_mask & ~graph.adj_right_mask(u)).bit_count() for u in r_enum

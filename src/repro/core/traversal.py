@@ -23,7 +23,15 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph, MirrorView
-from ..graph.protocol import BACKENDS, as_backend, default_backend, mask_of, supports_masks
+from ..graph.protocol import (
+    BACKENDS,
+    BATCH_SWEEP_MIN_SIDE,
+    as_backend,
+    default_backend,
+    mask_of,
+    supports_masks,
+    supports_vector_batch,
+)
 from .biplex import (
     Biplex,
     arbitrary_initial_solution,
@@ -75,8 +83,9 @@ class TraversalConfig:
         the graph is converted to a
         :class:`~repro.graph.bitset.BitsetBipartiteGraph` and the
         word-parallel bitmask fast paths kick in), ``"packed"`` (a
-        :class:`~repro.graph.packed.PackedBipartiteGraph`, masks plus numpy
-        ``uint64`` batch rows; requires numpy) or ``"set"`` (the input
+        :class:`~repro.graph.packed.PackedBipartiteGraph`, masks plus
+        ``uint64`` batch rows — vectorized with numpy, ``array('Q')``
+        fallback without) or ``"set"`` (the input
         graph as-is).  All backends enumerate identical solution sets in
         identical order; the default follows
         :func:`repro.graph.protocol.default_backend` and can be flipped
@@ -150,6 +159,16 @@ class ReverseSearchEngine:
         self.config = config or TraversalConfig()
         self.graph = as_backend(graph, self.config.backend)
         self._masked = supports_masks(self.graph)
+        self._batch = supports_vector_batch(self.graph)
+        # Whole-side scoring sweeps every row of one side per call; below
+        # the crossover the per-member mask loops are cheaper, so each
+        # sweep direction is gated on its side's size.
+        self._batch_score_left = (
+            self._batch and self.graph.n_left >= BATCH_SWEEP_MIN_SIDE
+        )
+        self._batch_score_right = (
+            self._batch and self.graph.n_right >= BATCH_SWEEP_MIN_SIDE
+        )
         self.k = k
         self.stats = TraversalStats()
         self._visited: Set[Biplex] = set()
@@ -292,9 +311,15 @@ class ReverseSearchEngine:
         # δ̄(u, L) for every u ∈ R and the packed left side depend only on
         # the solution, not on the candidate vertex; computing them once here
         # saves a factor |L| inside EnumAlmostSat (see enum_local_solutions'
-        # solution_right_missing / solution_left_mask).
+        # solution_right_missing / solution_left_mask).  A vectorized batch
+        # substrate scores the whole right side with one popcount sweep
+        # (δ̄(u, L) = |L| − |Γ(u) ∩ L|) instead of a per-vertex mask loop.
         left_mask = mask_of(left) if self._masked else None
-        if left_mask is not None:
+        if left_mask is not None and self._batch_score_right:
+            hits = self.graph.popcount_rows("right", left_mask).tolist()
+            size = len(left)
+            right_missing = {u: size - hits[u] for u in right}
+        elif left_mask is not None:
             adj_right_mask = self.graph.adj_right_mask
             right_missing = {
                 u: (left_mask & ~adj_right_mask(u)).bit_count() for u in right
@@ -303,6 +328,11 @@ class ReverseSearchEngine:
             right_missing = {
                 u: len(left - self.graph.neighbors_of_right(u)) for u in right
             }
+        # Γ(v, R) sizes for the Section 5 almost-satisfying-graph pruning are
+        # likewise solution-level: score every left candidate in one sweep.
+        gamma_sizes = None
+        if self._batch_score_left and config.theta_right:
+            gamma_sizes = self.graph.popcount_rows("left", mask_of(right)).tolist()
 
         processed: List[int] = []
         for side, vertex in self._candidate_vertices(solution):
@@ -313,7 +343,13 @@ class ReverseSearchEngine:
             if (
                 config.theta_right
                 and side == "L"
-                and len(self.graph.gamma_left(vertex, right)) + self.k < config.theta_right
+                and (
+                    gamma_sizes[vertex]
+                    if gamma_sizes is not None
+                    else len(self.graph.gamma_left(vertex, right))
+                )
+                + self.k
+                < config.theta_right
             ):
                 if config.exclusion:
                     processed.append(vertex)
@@ -432,28 +468,39 @@ class ReverseSearchEngine:
         one representative stands in for them and the scan stays proportional
         to the local solution's incident edges instead of to ``|R|``.
 
-        The candidate pre-filter is backend-independent; only the final
-        addability probe dispatches on the mask capability.
+        On a vectorized batch substrate the per-edge counting dict is
+        replaced by one ``popcount_rows`` sweep that scores ``|Γ(u) ∩ L|``
+        for the whole right side at once; the candidate pre-filter is
+        otherwise backend-independent, and only the final addability probe
+        dispatches on the mask capability.
         """
         graph = self.graph
         k = self.k
         left = local.left
         right = local.right
-        counts: dict = {}
-        for v in left:
-            for u in graph.neighbors_of_left(v):
-                counts[u] = counts.get(u, 0) + 1
         threshold = max(len(left) - k, 1)
-        candidates = [
-            u for u, count in counts.items() if count >= threshold and u not in right
-        ]
+        if self._batch_score_right:
+            hits = graph.popcount_rows("right", mask_of(left))
+            candidates = [
+                u for u in (hits >= threshold).nonzero()[0].tolist() if u not in right
+            ]
+            if len(left) <= k:
+                representative_pool = iter((hits == 0).nonzero()[0].tolist())
+        else:
+            counts: dict = {}
+            for v in left:
+                for u in graph.neighbors_of_left(v):
+                    counts[u] = counts.get(u, 0) + 1
+            candidates = [
+                u for u, count in counts.items() if count >= threshold and u not in right
+            ]
+            if len(left) <= k:
+                representative_pool = (
+                    u for u in graph.right_vertices() if u not in counts
+                )
         if len(left) <= k:
             representative = next(
-                (
-                    u
-                    for u in graph.right_vertices()
-                    if u not in right and u not in counts
-                ),
+                (u for u in representative_pool if u not in right),
                 None,
             )
             if representative is not None:

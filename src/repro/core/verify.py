@@ -8,28 +8,51 @@ k-biplexes, and each reported biplex must satisfy Definition 2.1/2.3.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.bipartite import BipartiteGraph
 from .biplex import Biplex, is_k_biplex, is_maximal_k_biplex
 
 
-def check_solution(graph: BipartiteGraph, solution: Biplex, k: int) -> None:
-    """Raise :class:`AssertionError` unless ``solution`` is a maximal k-biplex."""
+def _prefix(label: Optional[str]) -> str:
+    return f"[{label}] " if label else ""
+
+
+def check_solution(
+    graph: BipartiteGraph, solution: Biplex, k: int, label: Optional[str] = None
+) -> None:
+    """Raise :class:`AssertionError` unless ``solution`` is a maximal k-biplex.
+
+    ``label`` names the producer of the solution (an algorithm, a backend)
+    and is prefixed to the failure message, so harnesses that sweep many
+    algorithm × backend combinations report *which* one broke.
+    """
     if not is_k_biplex(graph, solution.left, solution.right, k):
-        raise AssertionError(f"{solution!r} is not a {k}-biplex")
+        raise AssertionError(f"{_prefix(label)}{solution!r} is not a {k}-biplex")
     if not is_maximal_k_biplex(graph, solution.left, solution.right, k):
-        raise AssertionError(f"{solution!r} is a {k}-biplex but not maximal")
+        raise AssertionError(
+            f"{_prefix(label)}{solution!r} is a {k}-biplex but not maximal"
+        )
 
 
-def check_all_solutions(graph: BipartiteGraph, solutions: Iterable[Biplex], k: int) -> None:
-    """Check every solution and that there are no duplicates."""
+def check_all_solutions(
+    graph: BipartiteGraph,
+    solutions: Iterable[Biplex],
+    k: int,
+    label: Optional[str] = None,
+) -> None:
+    """Check every solution and that there are no duplicates.
+
+    ``label`` is threaded through to every raised :class:`AssertionError`
+    (see :func:`check_solution`) — without it a failure from a many-way
+    differential sweep gives no clue which algorithm produced it.
+    """
     seen: Set[Biplex] = set()
     for solution in solutions:
         if solution in seen:
-            raise AssertionError(f"duplicate solution {solution!r}")
+            raise AssertionError(f"{_prefix(label)}duplicate solution {solution!r}")
         seen.add(solution)
-        check_solution(graph, solution, k)
+        check_solution(graph, solution, k, label=label)
 
 
 def canonical(solutions: Iterable[Biplex]) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:

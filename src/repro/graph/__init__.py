@@ -15,10 +15,14 @@ from .generators import (
 from .inflate import inflate, inflated_edge_count, join_vertex_sets, split_vertex_set
 from .io import read_edge_list, read_konect, write_edge_list, write_konect
 from .packed import (
+    ArrayPackedBipartiteGraph,
+    ArrayPackedGraph,
     PackedBackendUnavailable,
     PackedBipartiteGraph,
     PackedGraph,
     packed_available,
+    packed_bipartite_class,
+    packed_graph_class,
 )
 from .protocol import (
     BACKEND_ENV_VAR,
@@ -32,6 +36,7 @@ from .protocol import (
     mask_of,
     supports_batch,
     supports_masks,
+    supports_vector_batch,
 )
 
 __all__ = [
@@ -48,13 +53,18 @@ __all__ = [
     "mask_of",
     "supports_batch",
     "supports_masks",
+    "supports_vector_batch",
     "Side",
     "Graph",
     "BitsetGraph",
+    "ArrayPackedBipartiteGraph",
+    "ArrayPackedGraph",
     "PackedBackendUnavailable",
     "PackedBipartiteGraph",
     "PackedGraph",
     "packed_available",
+    "packed_bipartite_class",
+    "packed_graph_class",
     "FraudInjection",
     "freeze",
     "sorted_tuple",

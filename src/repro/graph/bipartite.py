@@ -299,17 +299,20 @@ class BipartiteGraph:
         return BitsetBipartiteGraph(self._n_left, self._n_right, self.edges())
 
     def to_packed(self) -> "BipartiteGraph":
-        """Return a packed-numpy copy of this graph.
+        """Return a packed copy of this graph.
 
-        The returned :class:`repro.graph.packed.PackedBipartiteGraph`
-        compares equal to ``self``, answers every set and mask query
-        identically, and additionally exposes contiguous ``uint64``
-        bit-matrix rows for whole-side vectorized predicates.  Raises
-        :class:`RuntimeError` when numpy is unavailable.
+        With numpy available the returned
+        :class:`repro.graph.packed.PackedBipartiteGraph` exposes contiguous
+        ``uint64`` bit-matrix rows for whole-side vectorized predicates;
+        without numpy the ``array('Q')``-backed
+        :class:`repro.graph.packed.ArrayPackedBipartiteGraph` provides the
+        same batch surface (bit-identical results, no vectorization).
+        Either way the copy compares equal to ``self`` and answers every set
+        and mask query identically.
         """
-        from .packed import PackedBipartiteGraph
+        from .packed import packed_bipartite_class
 
-        return PackedBipartiteGraph(self._n_left, self._n_right, self.edges())
+        return packed_bipartite_class()(self._n_left, self._n_right, self.edges())
 
     # ------------------------------------------------------------------ #
     # Dunder / helpers
@@ -446,6 +449,35 @@ class MirrorView:
 
     def adj_right_mask(self, right_vertex: int) -> int:
         return self._graph.adj_left_mask(right_vertex)
+
+    # -- batch-row capability, forwarded with the sides exchanged --------- #
+    @property
+    def supports_batch(self) -> bool:
+        return bool(getattr(self._graph, "supports_batch", False))
+
+    @property
+    def batch_vectorized(self) -> bool:
+        return bool(getattr(self._graph, "batch_vectorized", False))
+
+    @staticmethod
+    def _flipped(side):
+        if isinstance(side, Side):
+            return Side.RIGHT if side is Side.LEFT else Side.LEFT
+        if side in ("left", "right"):
+            return "right" if side == "left" else "left"
+        raise ValueError(f"side must be 'left', 'right' or a Side enum, got {side!r}")
+
+    def rows(self, side):
+        return self._graph.rows(self._flipped(side))
+
+    def row_bits(self, side) -> int:
+        return self._graph.row_bits(self._flipped(side))
+
+    def popcount_rows(self, side, mask=None):
+        return self._graph.popcount_rows(self._flipped(side), mask)
+
+    def common_neighbors_matrix(self, side, anchors=None, others=None):
+        return self._graph.common_neighbors_matrix(self._flipped(side), anchors, others)
 
 
 VertexSet = FrozenSet[int]

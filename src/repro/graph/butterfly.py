@@ -13,17 +13,23 @@ al. (VLDB 2019) in spirit: wedges are accumulated from the side that makes
 the wedge-centred work smaller.  On a mask-capable substrate
 (:func:`repro.graph.protocol.supports_masks`) the per-pair common
 neighbourhoods are word-parallel ``&`` + popcount operations instead of
-per-vertex dictionary accumulation.  On a batch-capable substrate
-(:func:`repro.graph.protocol.supports_batch`, the ``packed`` backend) the
-pairwise common-neighbour counts come from blocked, whole-row
+per-vertex dictionary accumulation.  On a vectorized batch substrate
+(:func:`repro.graph.protocol.supports_vector_batch`, the numpy ``packed``
+classes) the pairwise common-neighbour counts come from blocked, whole-row
 ``np.bitwise_and`` + popcount broadcasts over the packed bit-matrix — no
-per-vertex Python loop at all.  All implementations return identical
-counts, so ``set``, ``bitset`` and ``packed`` graphs stay drop-in
-equivalent.
+per-vertex Python loop at all.  Per-edge butterfly supports ride the same
+kernel: support((v, u)) falls out of one blocked common-neighbour matrix
+and one integer matmul against the unpacked incidence matrix.  All
+implementations return identical counts, so ``set``, ``bitset`` and
+``packed`` graphs stay drop-in equivalent.
 
 k-bitruss peeling is *incremental*: the butterfly supports are computed
-once, and removing an edge only re-scores the edges that shared a butterfly
-with it, instead of recomputing every support from scratch per round.
+once — on the vectorized kernel when the substrate allows — and removing an
+edge only re-scores the edges that shared a butterfly with it, instead of
+recomputing every support from scratch per round.  The incremental updates
+stay on the mask paths even on the packed backend: a peeled edge has
+support < k by definition, so each removal walks fewer than k butterflies,
+which beats any whole-row re-scoring of the affected anchor rows.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from collections import defaultdict, deque
 from typing import Dict, Iterator, Tuple
 
 from .bipartite import BipartiteGraph
-from .protocol import iter_bits, supports_batch, supports_masks
+from .protocol import iter_bits, supports_masks, supports_vector_batch
 
 
 def count_butterflies(graph: BipartiteGraph) -> int:
@@ -45,7 +51,7 @@ def count_butterflies(graph: BipartiteGraph) -> int:
     materialising the pairs explicitly.  A batch-capable substrate takes
     the fully vectorized pairwise route instead.
     """
-    if supports_batch(graph):
+    if supports_vector_batch(graph):
         return _count_butterflies_packed(graph)
     return _count_from_side(graph, from_left=_pivot_from_left(graph))
 
@@ -60,9 +66,7 @@ def _count_butterflies_packed(graph) -> int:
     """
     import numpy as np
 
-    left_cost = graph.n_left * graph.n_left * graph.rows("left").shape[1]
-    right_cost = graph.n_right * graph.n_right * graph.rows("right").shape[1]
-    side = "left" if left_cost <= right_cost else "right"
+    side = _cheap_anchor_side(graph)
     n, words = graph.rows(side).shape
     if n < 2:
         return 0
@@ -83,6 +87,94 @@ def _count_butterflies_packed(graph) -> int:
         columns = np.arange(start, n)
         total += int(pairs[columns[None, :] > anchors[:, None]].sum())
     return total
+
+
+def _cheap_anchor_side(graph) -> str:
+    """The side whose pairwise common-neighbour sweep moves fewer words.
+
+    Anchoring the vectorized kernels on side ``s`` costs
+    ``n(s)² · words(other)`` popcounted words; both butterfly counting and
+    the per-edge support kernel use this to pick their anchor.
+    """
+    left_cost = graph.n_left * graph.n_left * graph.rows("left").shape[1]
+    right_cost = graph.n_right * graph.n_right * graph.rows("right").shape[1]
+    return "left" if left_cost <= right_cost else "right"
+
+
+def _unpack_incidence(rows, n_bits: int):
+    """Unpack a ``uint64`` bit-matrix into a dense 0/1 ``int64`` matrix.
+
+    Column ``b`` of the result is bit ``b`` of the packed rows (word
+    ``b // 64``, bit ``b % 64``), i.e. the adjacency indicator the packed
+    layout encodes.  ``float64`` so the support kernel's matmul runs on
+    BLAS (integer matmuls take numpy's slow generic loop); every
+    accumulated value is an integer far below 2^53, so the results stay
+    exact.
+    """
+    import numpy as np
+
+    if rows.shape[0] == 0 or rows.shape[1] == 0 or n_bits == 0:
+        return np.zeros((rows.shape[0], n_bits))
+    bits = np.unpackbits(
+        np.ascontiguousarray(rows).view(np.uint8), axis=1, bitorder="little"
+    )
+    return bits[:, :n_bits].astype(np.float64)
+
+
+def _edge_supports_packed(graph, side):
+    """Yield ``(anchor, other, support)`` for the edges of ``graph``.
+
+    The butterfly support of edge ``(a, o)`` (``a`` on ``side``) equals
+    ``Σ_{a' ∈ Γ(o), a' ≠ a} (|Γ(a) ∩ Γ(a')| − 1)``.  With ``C`` the
+    common-neighbour matrix of ``side`` and ``B`` the dense incidence
+    matrix, the inner sum over a whole anchor block is one matmul:
+    ``S = C · B`` gives ``S[a, o] = Σ_{a' ∈ Γ(o)} C[a, a']``, from which the
+    support is ``S[a, o] − deg(a) − deg(o) + 1`` (subtracting the ``a' = a``
+    term and one per remaining wedge).  ``C`` is computed in blocks to bound
+    the temporary, so the whole sweep is ``np.bitwise_count`` broadcasts
+    plus BLAS matmuls — no per-edge Python work.
+    """
+    import numpy as np
+
+    rows = graph.rows(side)
+    n, words = rows.shape
+    if n == 0 or graph.num_edges == 0:
+        return
+    other = "right" if side == "left" else "left"
+    incidence = _unpack_incidence(rows, graph.row_bits(side))
+    other_degrees = graph.popcount_rows(other)
+    # Blocked to bound the (block × n) common matrix and (block × n_other)
+    # support matrix temporaries at ~8 MB, like the butterfly counter.
+    block = max(1, min(n, 1_000_000 // max(1, n * words)))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        common = graph.common_neighbors_matrix(
+            side, anchors=slice(start, stop)
+        ).astype(np.float64)
+        sums = common @ incidence
+        block_rows, other_cols = np.nonzero(incidence[start:stop])
+        if block_rows.size == 0:
+            continue
+        anchor_degrees = common[np.arange(stop - start), np.arange(start, stop)]
+        supports = (
+            sums[block_rows, other_cols]
+            - anchor_degrees[block_rows]
+            - other_degrees[other_cols]
+            + 1
+        )
+        yield from zip(
+            (block_rows + start).tolist(),
+            other_cols.tolist(),
+            supports.astype(np.int64).tolist(),
+        )
+
+
+def _edge_butterfly_counts_packed(graph) -> Dict[Tuple[int, int], int]:
+    """Whole-row vectorized twin of the masked per-edge support loop."""
+    side = _cheap_anchor_side(graph)
+    if side == "left":
+        return {(a, o): c for a, o, c in _edge_supports_packed(graph, side)}
+    return {(o, a): c for a, o, c in _edge_supports_packed(graph, side)}
 
 
 def _pivot_from_left(graph: BipartiteGraph) -> bool:
@@ -165,6 +257,8 @@ def edge_butterfly_counts(graph: BipartiteGraph) -> Dict[Tuple[int, int], int]:
     The butterfly support of edge ``(v, u)`` equals the number of pairs
     ``(v', u')`` with ``v' ≠ v``, ``u' ≠ u`` such that all four edges exist.
     """
+    if supports_vector_batch(graph):
+        return _edge_butterfly_counts_packed(graph)
     if supports_masks(graph):
         adj_left = graph.adj_left_mask
         adj_right = graph.adj_right_mask
@@ -231,6 +325,14 @@ def k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
     working = graph.copy()
     if k == 0:
         return working
+    # On a vectorized batch substrate the support computation below runs on
+    # the blocked whole-row kernel; the peeling itself stays incremental on
+    # the mask paths deliberately.  Every peeled edge has support < k, so
+    # the incremental updates walk fewer than k butterflies per removal —
+    # measured against a round-based vectorized re-scoring of the touched
+    # anchor rows, the bounded incremental walk wins in every regime (the
+    # rescore sweeps |touched| whole rows per round regardless of how few
+    # butterflies actually died).
     support = edge_butterfly_counts(working)
     queue = deque(edge for edge, count in support.items() if count < k)
     while queue:

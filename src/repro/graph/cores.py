@@ -15,8 +15,8 @@ uses it in two places:
 The implementation is the standard peeling algorithm: repeatedly delete any
 vertex violating its degree constraint; the result is order-independent.
 On a mask-capable substrate the alive sets are bitmasks and the degree
-updates walk only the set bits of ``adjacency & alive``.  On a
-batch-capable substrate (the ``packed`` backend) peeling is *round-based
+updates walk only the set bits of ``adjacency & alive``.  On a vectorized
+batch substrate (the numpy ``packed`` classes) peeling is *round-based
 and whole-side vectorized*: every violating vertex of a round is removed at
 once and both degree vectors are recomputed with one
 ``np.bitwise_and`` + popcount sweep against the packed removal rows.  All
@@ -30,7 +30,7 @@ from collections import deque
 from typing import Set, Tuple
 
 from .bipartite import BipartiteGraph
-from .protocol import supports_batch, supports_masks
+from .protocol import supports_masks, supports_vector_batch
 
 
 def alpha_beta_core(graph: BipartiteGraph, alpha: int, beta: int) -> Tuple[Set[int], Set[int]]:
@@ -40,7 +40,7 @@ def alpha_beta_core(graph: BipartiteGraph, alpha: int, beta: int) -> Tuple[Set[i
     right-vertex degrees.  Either set may be empty.  Values of 0 or below
     impose no constraint on that side.
     """
-    if supports_batch(graph):
+    if supports_vector_batch(graph):
         return _alpha_beta_core_packed(graph, alpha, beta)
     if supports_masks(graph):
         return _alpha_beta_core_masked(graph, alpha, beta)

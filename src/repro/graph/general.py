@@ -131,13 +131,14 @@ class Graph:
         return BitsetGraph(self._n, self.edges())
 
     def to_packed(self) -> "Graph":
-        """Return a packed-numpy copy (see :class:`repro.graph.packed.PackedGraph`).
+        """Return a packed copy (see :class:`repro.graph.packed.PackedGraph`).
 
-        Raises :class:`RuntimeError` when numpy is unavailable.
+        Falls back to the numpy-free
+        :class:`repro.graph.packed.ArrayPackedGraph` when numpy is absent.
         """
-        from .packed import PackedGraph
+        from .packed import packed_graph_class
 
-        return PackedGraph(self._n, self.edges())
+        return packed_graph_class()(self._n, self.edges())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self._n}, num_edges={self._num_edges})"

@@ -30,7 +30,8 @@ def inflate(graph: BipartiteGraph, backend: str = "set") -> Graph:
     lets the k-plex enumerator running on the inflation use its
     word-parallel fast paths; ``backend="packed"`` builds a
     :class:`repro.graph.packed.PackedGraph` (masks plus numpy ``uint64``
-    rows; requires numpy).
+    rows) or, when numpy is absent, the ``array('Q')``-backed
+    :class:`repro.graph.packed.ArrayPackedGraph` fallback.
 
     Warning: the inflated graph has ``Θ(|L|² + |R|²)`` edges, which is the
     very reason the inflation baseline does not scale (the paper reports
@@ -42,9 +43,9 @@ def inflate(graph: BipartiteGraph, backend: str = "set") -> Graph:
     n_left = graph.n_left
     n_right = graph.n_right
     if backend == "packed":
-        from .packed import PackedGraph
+        from .packed import packed_graph_class
 
-        graph_class = PackedGraph
+        graph_class = packed_graph_class()
     else:
         graph_class = BitsetGraph if backend == "bitset" else Graph
     inflated = graph_class(n_left + n_right)

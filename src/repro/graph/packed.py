@@ -1,4 +1,4 @@
-"""Packed numpy adjacency backend: contiguous ``uint64`` bit-matrices.
+"""Packed adjacency backend: contiguous ``uint64`` bit-matrices.
 
 :class:`PackedBipartiteGraph` is the third adjacency substrate behind the
 :mod:`repro.graph.protocol` surface (after plain sets and Python-int
@@ -21,22 +21,32 @@ and the parallel butterfly counters of Wang et al. (VLDB 2019) —
 * ``common_neighbors_matrix(side)`` yields all pairwise common-neighbour
   counts of a side as a single broadcasted matrix expression.
 
-Butterfly counting and (α, β)-core peeling detect the capability and switch
-to these whole-row operations instead of per-vertex Python-int loops; see
-``graph/butterfly.py`` and ``graph/cores.py``.
+Butterfly counting, bitruss peeling, (α, β)-core peeling and the
+enumeration-side Γ / δ̄ predicates detect the capability and switch to these
+whole-row operations instead of per-vertex Python-int loops; see
+``graph/butterfly.py``, ``graph/cores.py`` and ``core/{biplex,traversal}``.
 
-numpy is an *optional* dependency: importing this module never fails, but
-constructing a packed graph without a capable numpy (>= 2.0, for
-``np.bitwise_count``) raises a clear :class:`RuntimeError`.  The ``set``
-and ``bitset`` backends are unaffected either way.
+numpy is an *optional* dependency.  When a capable numpy (>= 2.0, for
+``np.bitwise_count``) is importable, ``to_packed()`` / ``as_backend(...,
+"packed")`` build the vectorized classes above.  Without it they fall back
+to :class:`ArrayPackedBipartiteGraph` / :class:`ArrayPackedGraph` — the same
+word layout held in ``array('Q')`` rows behind the identical ``rows`` /
+``popcount_rows`` / ``common_neighbors_matrix`` surface — so ``--backend
+packed`` degrades gracefully instead of erroring.  The fallback advertises
+``supports_batch`` but not ``batch_vectorized``
+(:func:`repro.graph.protocol.supports_vector_batch`), so the algorithms
+keep their Python-int mask fast paths rather than looping over words in
+Python.  Constructing the numpy classes *directly* without numpy still
+raises a clear :class:`PackedBackendUnavailable`.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable
-from typing import List, Optional, Tuple
+from typing import List, Sequence, Tuple
 
-from .bipartite import BipartiteGraph, Side
+from .bipartite import Side
 from .bitset import BitsetBipartiteGraph
 from .general import BitsetGraph
 
@@ -48,9 +58,12 @@ except ImportError:  # pragma: no cover
 #: Bits per packed word.
 WORD_BITS = 64
 
+_WORD_MASK = (1 << WORD_BITS) - 1
+
 _NUMPY_ERROR = (
-    "the 'packed' adjacency backend requires numpy >= 2.0 (np.bitwise_count); "
-    "install numpy or use the 'bitset' / 'set' backends instead"
+    "the vectorized 'packed' classes require numpy >= 2.0 (np.bitwise_count); "
+    "install numpy, or build the graph via to_packed() / as_backend(..., "
+    "'packed') to get the numpy-free array('Q') fallback"
 )
 
 
@@ -65,7 +78,13 @@ class PackedBackendUnavailable(RuntimeError):
 
 
 def packed_available() -> bool:
-    """Whether the packed backend can be used (numpy with ``bitwise_count``)."""
+    """Whether the *vectorized* packed classes can be used.
+
+    Requires a numpy with ``bitwise_count`` (>= 2.0).  The packed *backend*
+    itself is always available: without numpy, conversions select the
+    ``array('Q')`` fallback classes instead (same batch surface, no
+    vectorization).
+    """
     return _np is not None and hasattr(_np, "bitwise_count")
 
 
@@ -80,13 +99,27 @@ def words_for(n_bits: int) -> int:
     return (max(n_bits, 0) + WORD_BITS - 1) // WORD_BITS
 
 
+def mask_words(mask: int, n_bits: int) -> List[int]:
+    """Split an arbitrary-precision Python-int bitmask into 64-bit words.
+
+    Pure-Python twin of :func:`pack_mask`; also used by the ``array('Q')``
+    fallback classes, so it must not touch numpy.
+    """
+    return [(mask >> (WORD_BITS * w)) & _WORD_MASK for w in range(words_for(n_bits))]
+
+
 def pack_mask(mask: int, n_bits: int):
-    """Pack an arbitrary-precision Python-int bitmask into a ``uint64`` row."""
+    """Pack an arbitrary-precision Python-int bitmask into a ``uint64`` row.
+
+    Goes through ``int.to_bytes`` + ``np.frombuffer`` (both C speed) rather
+    than a Python word loop: the enumeration fast paths convert one mask per
+    predicate call, so this conversion sits on the hot path.  The returned
+    array is read-only (it views the bytes object) — every consumer only
+    ever reads it.
+    """
     np = _require_numpy()
-    n_words = words_for(n_bits)
-    word_mask = (1 << WORD_BITS) - 1
-    return np.array(
-        [(mask >> (WORD_BITS * w)) & word_mask for w in range(n_words)], dtype=np.uint64
+    return np.frombuffer(
+        mask.to_bytes(words_for(n_bits) * 8, "little"), dtype=np.uint64
     )
 
 
@@ -106,9 +139,15 @@ def pack_indices(indices, n_bits: int):
 
 
 def unpack_row(row) -> int:
-    """Inverse of :func:`pack_mask`: a packed row back to a Python-int mask."""
+    """Inverse of :func:`pack_mask`: a packed row back to a Python-int mask.
+
+    Accepts a numpy ``uint64`` row or any word sequence (e.g. the fallback's
+    ``array('Q')`` rows).
+    """
+    if hasattr(row, "tobytes"):
+        return int.from_bytes(row.tobytes(), "little")
     mask = 0
-    for w, word in enumerate(row.tolist()):
+    for w, word in enumerate(row):
         mask |= word << (WORD_BITS * w)
     return mask
 
@@ -119,6 +158,21 @@ def _side_key(side) -> str:
     if side in ("left", "right"):
         return side
     raise ValueError(f"side must be 'left', 'right' or a Side enum, got {side!r}")
+
+
+def _rows_from_masks(masks: Sequence[int], n_bits: int):
+    """Build a ``uint64`` bit-matrix from per-vertex Python-int masks.
+
+    One ``to_bytes`` sweep per vertex — roughly two orders of magnitude
+    faster than replaying every edge through numpy scalar updates, which is
+    why the packed constructors build their matrices in bulk after the base
+    class has assembled the masks.
+    """
+    np = _require_numpy()
+    n_words = words_for(n_bits)
+    row_bytes = n_words * 8
+    buffer = bytearray(b"".join(mask.to_bytes(row_bytes, "little") for mask in masks))
+    return np.frombuffer(buffer, dtype=np.uint64).reshape(len(masks), n_words)
 
 
 class PackedBipartiteGraph(BitsetBipartiteGraph):
@@ -140,8 +194,12 @@ class PackedBipartiteGraph(BitsetBipartiteGraph):
 
     __slots__ = ("_left_rows", "_right_rows")
 
-    #: Capability flag: whole-row vectorized operations are available.
+    #: Capability flag: the batch row surface is available.
     supports_batch = True
+
+    #: Capability flag: the batch surface is numpy-vectorized (whole-side
+    #: sweeps run at C speed, not as Python word loops).
+    batch_vectorized = True
 
     def __init__(
         self,
@@ -149,12 +207,15 @@ class PackedBipartiteGraph(BitsetBipartiteGraph):
         n_right: int,
         edges: Iterable[Tuple[int, int]] = (),
     ) -> None:
-        np = _require_numpy()
-        # The rows must exist before the base constructor replays ``edges``
-        # through our ``add_edge`` override.
-        self._left_rows = np.zeros((max(n_left, 0), words_for(n_right)), dtype=np.uint64)
-        self._right_rows = np.zeros((max(n_right, 0), words_for(n_left)), dtype=np.uint64)
+        _require_numpy()
+        # The matrices are built in bulk from the Python-int masks *after*
+        # the base constructor replays ``edges`` (see _rows_from_masks);
+        # add_edge skips row maintenance while they are still unset.
+        self._left_rows = None
+        self._right_rows = None
         super().__init__(n_left, n_right, edges)
+        self._left_rows = _rows_from_masks(self._left_masks, n_right)
+        self._right_rows = _rows_from_masks(self._right_masks, n_left)
 
     # ------------------------------------------------------------------ #
     # Mutation (sets, masks and packed rows stay in lock-step)
@@ -162,23 +223,25 @@ class PackedBipartiteGraph(BitsetBipartiteGraph):
     def add_edge(self, left_vertex: int, right_vertex: int) -> bool:
         if not super().add_edge(left_vertex, right_vertex):
             return False
-        self._left_rows[left_vertex, right_vertex >> 6] |= _np.uint64(
-            1 << (right_vertex & 63)
-        )
-        self._right_rows[right_vertex, left_vertex >> 6] |= _np.uint64(
-            1 << (left_vertex & 63)
-        )
+        if self._left_rows is not None:
+            self._left_rows[left_vertex, right_vertex >> 6] |= _np.uint64(
+                1 << (right_vertex & 63)
+            )
+            self._right_rows[right_vertex, left_vertex >> 6] |= _np.uint64(
+                1 << (left_vertex & 63)
+            )
         return True
 
     def remove_edge(self, left_vertex: int, right_vertex: int) -> bool:
         if not super().remove_edge(left_vertex, right_vertex):
             return False
-        self._left_rows[left_vertex, right_vertex >> 6] &= _np.uint64(
-            ~(1 << (right_vertex & 63)) & ((1 << WORD_BITS) - 1)
-        )
-        self._right_rows[right_vertex, left_vertex >> 6] &= _np.uint64(
-            ~(1 << (left_vertex & 63)) & ((1 << WORD_BITS) - 1)
-        )
+        if self._left_rows is not None:
+            self._left_rows[left_vertex, right_vertex >> 6] &= _np.uint64(
+                ~(1 << (right_vertex & 63)) & _WORD_MASK
+            )
+            self._right_rows[right_vertex, left_vertex >> 6] &= _np.uint64(
+                ~(1 << (left_vertex & 63)) & _WORD_MASK
+            )
         return True
 
     # ------------------------------------------------------------------ #
@@ -250,19 +313,26 @@ class PackedGraph(BitsetGraph):
 
     __slots__ = ("_rows",)
 
-    #: Capability flag: whole-row vectorized operations are available.
+    #: Capability flag: the batch row surface is available.
     supports_batch = True
 
+    #: Capability flag: the batch surface is numpy-vectorized.
+    batch_vectorized = True
+
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
-        np = _require_numpy()
-        self._rows = np.zeros((max(n, 0), words_for(n)), dtype=np.uint64)
+        _require_numpy()
+        # Built in bulk from the masks after the base replay, like the
+        # bipartite class.
+        self._rows = None
         super().__init__(n, edges)
+        self._rows = _rows_from_masks(self._masks, n)
 
     def add_edge(self, u: int, v: int) -> bool:
         if not super().add_edge(u, v):
             return False
-        self._rows[u, v >> 6] |= _np.uint64(1 << (v & 63))
-        self._rows[v, u >> 6] |= _np.uint64(1 << (u & 63))
+        if self._rows is not None:
+            self._rows[u, v >> 6] |= _np.uint64(1 << (v & 63))
+            self._rows[v, u >> 6] |= _np.uint64(1 << (u & 63))
         return True
 
     def rows(self):
@@ -284,3 +354,210 @@ class PackedGraph(BitsetGraph):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PackedGraph(n={self._n}, num_edges={self._num_edges})"
+
+
+# ---------------------------------------------------------------------- #
+# numpy-free fallback: the same packed surface over array('Q') rows
+# ---------------------------------------------------------------------- #
+def _is_bool_flag(value) -> bool:
+    """Whether ``value`` is a Python or numpy boolean (not an index).
+
+    numpy's boolean scalar is not a ``bool`` subclass but *is* index-like,
+    so an ``isinstance(value, bool)`` test alone would silently misread a
+    numpy boolean mask as the index array ``[0, 1, ...]``.  Matched by type
+    name (``numpy.bool`` since numpy 2, ``numpy.bool_`` before) so the
+    fallback stays importable without numpy.
+    """
+    return isinstance(value, bool) or type(value).__name__ in ("bool", "bool_")
+
+
+def _select_rows(rows: Sequence, selector) -> Sequence:
+    """Index a row list the way numpy fancy indexing would.
+
+    Accepts ``None`` (all rows), a ``slice``, a boolean mask (Python or
+    numpy booleans), or an iterable of row indices — the selector forms the
+    batch consumers pass to ``common_neighbors_matrix``.
+    """
+    if selector is None:
+        return rows
+    if isinstance(selector, slice):
+        return rows[selector]
+    selected = list(selector)
+    if selected and _is_bool_flag(selected[0]):
+        return [row for row, flag in zip(rows, selected) if flag]
+    return [rows[index] for index in selected]
+
+
+class ArrayPackedBipartiteGraph(BitsetBipartiteGraph):
+    """numpy-free twin of :class:`PackedBipartiteGraph` over ``array('Q')`` rows.
+
+    Same word layout (bit ``u`` of row ``v`` = word ``u // 64``, bit
+    ``u % 64``), same ``rows`` / ``popcount_rows`` /
+    ``common_neighbors_matrix`` surface, bit-identical results — but plain
+    Python word loops instead of vectorized sweeps, so it advertises
+    ``supports_batch`` without ``batch_vectorized`` and the algorithms keep
+    their Python-int mask fast paths.  Selected automatically by
+    ``to_packed()`` / ``as_backend(..., "packed")`` when numpy is absent.
+
+    Examples
+    --------
+    >>> g = ArrayPackedBipartiteGraph(2, 3, edges=[(0, 0), (0, 2), (1, 1)])
+    >>> g.rows("left")[0][0]
+    5
+    >>> g.popcount_rows("left")
+    [2, 1]
+    """
+
+    __slots__ = ("_left_rows", "_right_rows")
+
+    #: Capability flag: the batch row surface is available.
+    supports_batch = True
+
+    #: The surface is plain Python — whole-side sweeps would be word loops.
+    batch_vectorized = False
+
+    def __init__(
+        self,
+        n_left: int,
+        n_right: int,
+        edges: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        # The rows must exist before the base constructor replays ``edges``
+        # through our ``add_edge`` override.
+        self._left_rows = [
+            array("Q", [0] * words_for(n_right)) for _ in range(max(n_left, 0))
+        ]
+        self._right_rows = [
+            array("Q", [0] * words_for(n_left)) for _ in range(max(n_right, 0))
+        ]
+        super().__init__(n_left, n_right, edges)
+
+    def add_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        if not super().add_edge(left_vertex, right_vertex):
+            return False
+        self._left_rows[left_vertex][right_vertex >> 6] |= 1 << (right_vertex & 63)
+        self._right_rows[right_vertex][left_vertex >> 6] |= 1 << (left_vertex & 63)
+        return True
+
+    def remove_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        if not super().remove_edge(left_vertex, right_vertex):
+            return False
+        self._left_rows[left_vertex][right_vertex >> 6] &= _WORD_MASK ^ (
+            1 << (right_vertex & 63)
+        )
+        self._right_rows[right_vertex][left_vertex >> 6] &= _WORD_MASK ^ (
+            1 << (left_vertex & 63)
+        )
+        return True
+
+    def rows(self, side) -> List[array]:
+        """The packed rows of ``side``: a list with one ``array('Q')`` per vertex.
+
+        The returned list is the live storage — treat it as read-only.
+        """
+        return self._left_rows if _side_key(side) == "left" else self._right_rows
+
+    def row_bits(self, side) -> int:
+        """Number of *meaningful* bits per row of ``side``'s matrix."""
+        return self._n_right if _side_key(side) == "left" else self._n_left
+
+    def popcount_rows(self, side, mask=None) -> List[int]:
+        """``|Γ(v) ∩ S|`` for every vertex ``v`` of ``side``, as a list of ints.
+
+        Bit-identical to the numpy implementation (``mask`` may be a
+        Python-int bitmask, a word sequence, or ``None`` for the full side).
+        """
+        rows = self.rows(side)
+        if mask is None:
+            return [sum(word.bit_count() for word in row) for row in rows]
+        if isinstance(mask, int):
+            mask = mask_words(mask, self.row_bits(side))
+        return [
+            sum((word & selected).bit_count() for word, selected in zip(row, mask))
+            for row in rows
+        ]
+
+    def common_neighbors_matrix(self, side, anchors=None, others=None) -> List[List[int]]:
+        """Pairwise common-neighbour counts of ``side`` as a list of lists."""
+        rows = self.rows(side)
+        anchor_rows = _select_rows(rows, anchors)
+        other_rows = _select_rows(rows, others)
+        return [
+            [
+                sum((a & b).bit_count() for a, b in zip(anchor_row, other_row))
+                for other_row in other_rows
+            ]
+            for anchor_row in anchor_rows
+        ]
+
+    def to_packed(self) -> "ArrayPackedBipartiteGraph":
+        """Already packed: return ``self`` (no copy)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayPackedBipartiteGraph(n_left={self._n_left}, "
+            f"n_right={self._n_right}, num_edges={self._num_edges})"
+        )
+
+
+class ArrayPackedGraph(BitsetGraph):
+    """numpy-free twin of :class:`PackedGraph` over ``array('Q')`` rows."""
+
+    __slots__ = ("_rows",)
+
+    #: Capability flag: the batch row surface is available.
+    supports_batch = True
+
+    #: The surface is plain Python — whole-side sweeps would be word loops.
+    batch_vectorized = False
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
+        self._rows = [array("Q", [0] * words_for(n)) for _ in range(max(n, 0))]
+        super().__init__(n, edges)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        if not super().add_edge(u, v):
+            return False
+        self._rows[u][v >> 6] |= 1 << (v & 63)
+        self._rows[v][u >> 6] |= 1 << (u & 63)
+        return True
+
+    def rows(self) -> List[array]:
+        """The packed adjacency rows (one ``array('Q')`` per vertex)."""
+        return self._rows
+
+    def popcount_rows(self, mask=None) -> List[int]:
+        """``|Γ(u) ∩ S|`` for every vertex, as a list of ints."""
+        if mask is None:
+            return [sum(word.bit_count() for word in row) for row in self._rows]
+        if isinstance(mask, int):
+            mask = mask_words(mask, self._n)
+        return [
+            sum((word & selected).bit_count() for word, selected in zip(row, mask))
+            for row in self._rows
+        ]
+
+    def to_packed(self) -> "ArrayPackedGraph":
+        """Already packed: return ``self`` (no copy)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayPackedGraph(n={self._n}, num_edges={self._num_edges})"
+
+
+# ---------------------------------------------------------------------- #
+# Backend selection
+# ---------------------------------------------------------------------- #
+def packed_bipartite_class():
+    """The bipartite class ``to_packed()`` should build in this environment.
+
+    The vectorized :class:`PackedBipartiteGraph` when a capable numpy is
+    importable, the :class:`ArrayPackedBipartiteGraph` fallback otherwise.
+    """
+    return PackedBipartiteGraph if packed_available() else ArrayPackedBipartiteGraph
+
+
+def packed_graph_class():
+    """General-graph sibling of :func:`packed_bipartite_class`."""
+    return PackedGraph if packed_available() else ArrayPackedGraph

@@ -16,19 +16,39 @@ duck-typed flags so algorithms degrade gracefully:
   (``&``/``~``/``int.bit_count``), which is where the BBK (Baudin et al.,
   2024) and symmetric-BK (Yu & Long, 2022) implementations get their
   constant-factor speedups from.
-* *batch rows* (:func:`supports_batch`) — contiguous numpy ``uint64``
-  bit-matrices, one packed row per vertex
-  (:class:`repro.graph.packed.PackedBipartiteGraph`).  Whole-side
-  predicates (butterfly common-neighbour counts, core-peeling degree
-  updates) become single vectorized ``np.bitwise_and`` + popcount sweeps,
-  the layout used by BBK-style implementations and the parallel butterfly
-  counters of Wang et al. (VLDB 2019).
+* *batch rows* (:func:`supports_batch`) — ``uint64`` bit-matrices, one
+  packed row per vertex, behind the ``rows`` / ``popcount_rows`` /
+  ``common_neighbors_matrix`` surface.  When the rows are numpy-backed
+  (:func:`supports_vector_batch`,
+  :class:`repro.graph.packed.PackedBipartiteGraph`), whole-side predicates
+  (butterfly / bitruss edge supports, core-peeling degree updates, the
+  enumeration-side Γ / δ̄ candidate scoring) become single vectorized
+  ``np.bitwise_and`` + popcount sweeps, the layout used by BBK-style
+  implementations and the parallel butterfly counters of Wang et al.
+  (VLDB 2019).  The numpy-free
+  :class:`~repro.graph.packed.ArrayPackedBipartiteGraph` fallback keeps the
+  identical surface over ``array('Q')`` rows without the vectorization.
 
-The backend matrix is therefore ``set`` (plain adjacency sets, always
-available), ``bitset`` (masks; the default) and ``packed`` (masks *and*
-batch rows; requires numpy — unavailable numpy makes only this backend
-error, with a clear message).  All three produce identical solution sets;
-the equivalence suite pins that property.
+The backend matrix:
+
+==========  ====================  =======================  ====================
+backend     representation        requires                 batch coverage
+==========  ====================  =======================  ====================
+``set``     adjacency sets        nothing                  none
+``bitset``  + Python-int masks    nothing (the default)    none (mask paths)
+``packed``  + ``uint64`` rows     nothing — numpy >= 2.0   full when numpy is
+            per vertex            enables vectorization    present (butterfly,
+                                                           bitruss, cores, Γ/δ̄
+                                                           predicates); the
+                                                           ``array('Q')``
+                                                           fallback keeps the
+                                                           surface and rides
+                                                           the mask paths
+==========  ====================  =======================  ====================
+
+All backends produce identical solution sets; the equivalence suite and the
+cross-backend differential harness (``tests/test_backend_differential.py``)
+pin that property.
 """
 
 from __future__ import annotations
@@ -113,14 +133,13 @@ class MaskedBipartiteSubstrate(BipartiteSubstrate, Protocol):
 def available_backends() -> tuple:
     """The subset of :data:`BACKENDS` usable in this environment.
 
-    ``set`` and ``bitset`` are always available; ``packed`` only when a
-    numpy with ``bitwise_count`` (>= 2.0) can be imported.
+    All three, always: since the ``array('Q')`` fallback classes, the
+    ``packed`` backend no longer needs numpy (conversions auto-select the
+    fallback; only the numpy classes themselves require numpy >= 2.0).
+    Kept for API stability — callers that enumerated usable backends keep
+    working unchanged.
     """
-    from .packed import packed_available
-
-    if packed_available():
-        return BACKENDS
-    return tuple(backend for backend in BACKENDS if backend != "packed")
+    return BACKENDS
 
 
 def supports_masks(graph: object) -> bool:
@@ -132,11 +151,35 @@ def supports_batch(graph: object) -> bool:
     """Whether ``graph`` advertises the packed-row batch capability.
 
     Batch-capable substrates (:class:`repro.graph.packed.PackedBipartiteGraph`
-    and :class:`~repro.graph.packed.PackedGraph`) expose ``rows`` /
-    ``popcount_rows`` for whole-side vectorized predicates; algorithms that
-    cannot use them fall back to the mask or set paths.
+    and its ``array('Q')`` fallback twin) expose ``rows`` /
+    ``popcount_rows`` / ``common_neighbors_matrix``; algorithms that cannot
+    use them fall back to the mask or set paths.  Most batch consumers
+    additionally require :func:`supports_vector_batch` — the surface alone
+    does not make whole-side sweeps fast.
     """
     return bool(getattr(graph, "supports_batch", False))
+
+
+#: Minimum side size for which a whole-side ``popcount_rows`` sweep beats
+#: the per-member Python-int mask loop it replaces inside the enumeration
+#: hot paths.  Below this the fixed numpy dispatch overhead (~10 µs per
+#: sweep) outweighs the handful of bigint operations saved; measured on
+#: dense Erdős–Rényi workloads (the crossover sits between 80 and 120
+#: vertices per side).  Whole-graph kernels (butterfly, bitruss, cores) are
+#: per-call, not per-candidate, and ignore this threshold.
+BATCH_SWEEP_MIN_SIDE = 96
+
+
+def supports_vector_batch(graph: object) -> bool:
+    """Whether ``graph``'s batch rows are numpy-vectorized.
+
+    True only for the numpy-backed packed classes.  The whole-side fast
+    paths (butterfly / bitruss kernels, core peeling, the enumeration
+    candidate scoring) gate on this rather than on :func:`supports_batch`:
+    on the ``array('Q')`` fallback a "vectorized" sweep would be a Python
+    word loop, slower than the Python-int mask paths it would replace.
+    """
+    return bool(getattr(graph, "batch_vectorized", False))
 
 
 def mask_of(vertex_ids: Iterable[int]) -> int:
@@ -161,7 +204,7 @@ def as_backend(graph, backend: str):
     ``"set"`` is a no-op (every substrate answers set queries); ``"bitset"``
     converts via ``graph.to_bitset()`` unless the graph already exposes
     masks; ``"packed"`` converts via ``graph.to_packed()`` unless the graph
-    already exposes batch rows (and raises a clear :class:`RuntimeError`
+    already exposes batch rows (auto-selecting the ``array('Q')`` fallback
     when numpy is unavailable).  Raises :class:`ValueError` for unknown
     backend names.
     """

@@ -5,19 +5,33 @@ without colliding with the benchmarks' ``conftest`` when pytest collects
 both directories in one run.
 """
 
-import pytest
+#: The full backend matrix for parametrized equivalence tests.  All three
+#: backends are always exercised: without a capable numpy the ``packed``
+#: entry runs on the ``array('Q')`` fallback substrate, which is exactly
+#: the degradation path the suite must pin.
+ALL_BACKENDS = ("set", "bitset", "packed")
 
-from repro.graph import packed_available
 
-#: The full backend matrix for parametrized equivalence tests; ``packed`` is
-#: skipped (not failed) on interpreters without a capable numpy.
-ALL_BACKENDS = (
-    "set",
-    "bitset",
-    pytest.param(
-        "packed",
-        marks=pytest.mark.skipif(
-            not packed_available(), reason="packed backend requires numpy >= 2.0"
-        ),
-    ),
-)
+def random_graphs(count: int, max_side: int = 6, seed: int = 0):
+    """A deterministic collection of small random graphs for exhaustive checks.
+
+    Shared by the cross-backend equivalence and differential tests; lives
+    here (not in ``conftest``) for the same import-collision reason as
+    :data:`ALL_BACKENDS`.
+    """
+    import random
+
+    from repro.graph import erdos_renyi_bipartite
+
+    graphs = []
+    rng = random.Random(seed)
+    for index in range(count):
+        n_left = rng.randint(2, max_side)
+        n_right = rng.randint(2, max_side)
+        num_edges = rng.randint(1, n_left * n_right)
+        graphs.append(
+            erdos_renyi_bipartite(
+                n_left, n_right, num_edges=num_edges, seed=seed * 1000 + index
+            )
+        )
+    return graphs

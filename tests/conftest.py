@@ -12,7 +12,7 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.graph import BipartiteGraph, erdos_renyi_bipartite, paper_example_graph  # noqa: E402
+from repro.graph import BipartiteGraph, paper_example_graph  # noqa: E402
 
 
 @pytest.fixture
@@ -42,17 +42,5 @@ def empty_graph() -> BipartiteGraph:
     return BipartiteGraph(3, 4)
 
 
-def random_graphs(count: int, max_side: int = 6, seed: int = 0):
-    """A deterministic collection of small random graphs for exhaustive checks."""
-    import random
-
-    graphs = []
-    rng = random.Random(seed)
-    for index in range(count):
-        n_left = rng.randint(2, max_side)
-        n_right = rng.randint(2, max_side)
-        num_edges = rng.randint(1, n_left * n_right)
-        graphs.append(
-            erdos_renyi_bipartite(n_left, n_right, num_edges=num_edges, seed=seed * 1000 + index)
-        )
-    return graphs
+# The shared random-graph helper lives in backend_matrix.py (importable from
+# test modules without colliding with the benchmarks' conftest).

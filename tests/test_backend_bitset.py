@@ -1,10 +1,8 @@
 """Tests for the bitset substrate and the set/bitset/packed backend matrix."""
 
-import random
-
 import pytest
 
-from backend_matrix import ALL_BACKENDS
+from backend_matrix import ALL_BACKENDS, random_graphs
 
 from repro.core import (
     BTraversal,
@@ -29,20 +27,6 @@ from repro.graph import (
 )
 from repro.graph import erdos_renyi_bipartite
 from repro.graph.bipartite import MirrorView
-
-
-def random_graphs(count, max_side=6, seed=0):
-    """A deterministic collection of small random graphs (as in conftest)."""
-    rng = random.Random(seed)
-    graphs = []
-    for index in range(count):
-        n_left = rng.randint(2, max_side)
-        n_right = rng.randint(2, max_side)
-        num_edges = rng.randint(1, n_left * n_right)
-        graphs.append(
-            erdos_renyi_bipartite(n_left, n_right, num_edges=num_edges, seed=seed * 1000 + index)
-        )
-    return graphs
 
 
 class TestBitsetGraph:

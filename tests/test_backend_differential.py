@@ -1,0 +1,115 @@
+"""Cross-backend differential harness.
+
+Seeded random-graph property tests that sweep **every** adjacency backend ×
+**every** maximal-k-biplex enumerator the library ships — iTraversal,
+bTraversal, the large-MBP enumerator, iMB and the exhaustive brute force —
+and pin, for every single run, that
+
+* the produced solutions are valid maximal k-biplexes with no duplicates
+  (``verify.check_all_solutions``, labelled so a failure names the
+  algorithm × backend × graph that broke), and
+* the solution *set* matches the set-backend brute-force oracle
+  (``verify.same_solutions``).
+
+This is the systematic oracle the per-feature equivalence tests sample from:
+any backend fast path (mask or batch) that changes results anywhere in the
+enumeration stack fails here with an attributable message.
+"""
+
+from __future__ import annotations
+
+import pytest
+from backend_matrix import ALL_BACKENDS, random_graphs
+
+from repro.baselines import enumerate_mbps_bruteforce, enumerate_mbps_imb
+from repro.core import BTraversal, ITraversal
+from repro.core.large import LargeMBPEnumerator, filter_large
+from repro.core.verify import check_all_solutions, missing_and_extra, same_solutions
+from repro.graph import as_backend
+
+#: Size threshold exercised by the LargeMBPEnumerator leg of the matrix.
+THETA = 2
+
+#: Small enough for the brute-force oracle, varied enough to hit empty
+#: sides, dense blocks and isolated vertices.
+GRAPHS = random_graphs(5, max_side=5, seed=424242)
+
+
+def _enumerators():
+    """The (name, runner) matrix; every runner returns a solution list."""
+    yield "ITraversal", lambda graph, k, backend: ITraversal(
+        graph, k, backend=backend
+    ).enumerate()
+    yield "BTraversal", lambda graph, k, backend: BTraversal(
+        graph, k, backend=backend
+    ).enumerate()
+    yield "iMB", lambda graph, k, backend: enumerate_mbps_imb(
+        graph, k, backend=backend
+    )
+    # The brute force runs on the *converted* graph, so the backend's
+    # predicate fast paths (is_k_biplex / is_maximal_k_biplex) are part of
+    # the differential surface too.
+    yield "bruteforce", lambda graph, k, backend: enumerate_mbps_bruteforce(
+        as_backend(graph, backend), k
+    )
+
+
+@pytest.mark.parametrize("k", (1, 2))
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_every_enumerator_matches_the_oracle(backend, k):
+    for index, graph in enumerate(GRAPHS):
+        reference = enumerate_mbps_bruteforce(graph, k)
+        check_all_solutions(graph, reference, k, label=f"oracle k={k} g{index}")
+        for name, run in _enumerators():
+            label = f"{name}[{backend}] k={k} g{index}"
+            solutions = run(graph, k, backend)
+            check_all_solutions(graph, solutions, k, label=label)
+            assert same_solutions(reference, solutions), (
+                label,
+                missing_and_extra(reference, solutions),
+            )
+
+
+@pytest.mark.parametrize("k", (1, 2))
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_large_mbp_enumerator_matches_filtered_oracle(backend, k):
+    for index, graph in enumerate(GRAPHS):
+        reference = filter_large(enumerate_mbps_bruteforce(graph, k), THETA, THETA)
+        label = f"LargeMBPEnumerator[{backend}] k={k} theta={THETA} g{index}"
+        solutions = LargeMBPEnumerator(
+            graph, k, theta=THETA, backend=backend
+        ).enumerate()
+        check_all_solutions(graph, solutions, k, label=label)
+        assert all(
+            len(s.left) >= THETA and len(s.right) >= THETA for s in solutions
+        ), label
+        assert same_solutions(reference, solutions), (
+            label,
+            missing_and_extra(reference, solutions),
+        )
+
+
+class TestFailureAttribution:
+    """The ``label=`` threading the harness above relies on."""
+
+    def test_label_prefixes_validity_errors(self, complete_graph):
+        from repro.core.biplex import Biplex
+
+        # ({0}, {0}) is a 1-biplex of K_{3,3} but far from maximal.
+        bogus = [Biplex.of({0}, {0})]
+        with pytest.raises(AssertionError, match=r"\[iMB\[packed\] g3\]"):
+            check_all_solutions(complete_graph, bogus, 1, label="iMB[packed] g3")
+
+    def test_label_prefixes_duplicate_errors(self, complete_graph):
+        from repro.core.biplex import Biplex
+
+        full = Biplex.of({0, 1, 2}, {0, 1, 2})
+        with pytest.raises(AssertionError, match=r"\[dup-source\] duplicate"):
+            check_all_solutions(complete_graph, [full, full], 1, label="dup-source")
+
+    def test_unlabelled_errors_stay_unprefixed(self, complete_graph):
+        from repro.core.biplex import Biplex
+
+        with pytest.raises(AssertionError) as excinfo:
+            check_all_solutions(complete_graph, [Biplex.of({0}, {0})], 1)
+        assert not str(excinfo.value).startswith("[")

@@ -1,9 +1,12 @@
-"""Tests for the packed numpy substrate: batch API, row/mask lock-step, and
-the numpy-absent degradation contract."""
+"""Tests for the packed substrate: batch API, row/mask lock-step, the
+numpy-free ``array('Q')`` fallback, and the numpy-absent degradation
+contract."""
 
 import pytest
 
 from repro.graph import (
+    ArrayPackedBipartiteGraph,
+    ArrayPackedGraph,
     BipartiteGraph,
     PackedBipartiteGraph,
     PackedGraph,
@@ -14,6 +17,7 @@ from repro.graph import (
     packed_available,
     supports_batch,
     supports_masks,
+    supports_vector_batch,
 )
 from repro.graph.general import Graph
 
@@ -179,9 +183,89 @@ class TestPackedEndToEnd:
         assert packed_out.split("elapsed")[0] == set_out.split("elapsed")[0]
 
 
-class TestNumpyAbsentDegradation:
-    """The contract when numpy is missing: only the packed backend errors,
-    with a clear message; everything else keeps working."""
+class TestArrayFallbackParity:
+    """The ``array('Q')`` fallback must be bit-identical to the numpy path
+    on the same graph: same rows, same popcounts, same common-neighbour
+    matrices — pinned with numpy present so both implementations can run
+    side by side (including multi-word rows beyond 64 vertices)."""
+
+    def _pair(self, graph):
+        edges = list(graph.edges())
+        return (
+            PackedBipartiteGraph(graph.n_left, graph.n_right, edges),
+            ArrayPackedBipartiteGraph(graph.n_left, graph.n_right, edges),
+        )
+
+    @requires_packed
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rows_and_popcounts_bit_identical(self, seed):
+        graph = erdos_renyi_bipartite(70, 130, num_edges=500 + 40 * seed, seed=seed)
+        vectorized, fallback = self._pair(graph)
+        for side in ("left", "right"):
+            assert [list(row) for row in fallback.rows(side)] == vectorized.rows(
+                side
+            ).tolist()
+            assert fallback.popcount_rows(side) == vectorized.popcount_rows(side).tolist()
+            mask = sum(1 << bit for bit in range(0, fallback.row_bits(side), 3))
+            assert (
+                fallback.popcount_rows(side, mask)
+                == vectorized.popcount_rows(side, mask).tolist()
+            )
+
+    @requires_packed
+    def test_selectors_accept_numpy_booleans(self, example_graph):
+        # numpy booleans are not `bool` instances but are index-like, so a
+        # naive isinstance check would misread the mask as indices [0, 1...].
+        vectorized, fallback = self._pair(example_graph)
+        flags = np.zeros(example_graph.n_left, dtype=bool)
+        flags[[0, 2]] = True
+        assert (
+            fallback.common_neighbors_matrix("left", anchors=flags.tolist())
+            == fallback.common_neighbors_matrix("left", anchors=flags)
+            == vectorized.common_neighbors_matrix("left", anchors=flags).tolist()
+        )
+
+    @requires_packed
+    def test_common_neighbors_matrix_bit_identical(self, example_graph):
+        vectorized, fallback = self._pair(example_graph)
+        assert (
+            fallback.common_neighbors_matrix("left")
+            == vectorized.common_neighbors_matrix("left").tolist()
+        )
+        assert (
+            fallback.common_neighbors_matrix("right", anchors=slice(1, 3), others=[0, 2])
+            == vectorized.common_neighbors_matrix(
+                "right", anchors=slice(1, 3), others=[0, 2]
+            ).tolist()
+        )
+
+    def test_fallback_capabilities_and_lockstep(self):
+        graph = ArrayPackedBipartiteGraph(70, 130)
+        assert supports_batch(graph) and supports_masks(graph)
+        assert not supports_vector_batch(graph)
+        assert graph.add_edge(3, 100) is True
+        assert graph.add_edge(3, 100) is False
+        assert graph.rows("left")[3][100 // 64] == 1 << (100 % 64)
+        assert graph.rows("right")[100][0] == 1 << 3
+        assert graph.remove_edge(3, 100) is True
+        assert all(not any(row) for row in graph.rows("left"))
+        assert graph.to_packed() is graph
+
+    def test_fallback_general_graph(self):
+        graph = ArrayPackedGraph(70, edges=[(0, 1), (1, 69), (0, 69)])
+        assert supports_batch(graph) and not supports_vector_batch(graph)
+        assert graph.rows()[1][69 // 64] == 1 << (69 % 64)
+        assert graph.popcount_rows() == [graph.degree(u) for u in graph.vertices()]
+        assert graph.popcount_rows(0b10) == [
+            len(graph.neighbors(u) & {1}) for u in graph.vertices()
+        ]
+        assert graph.to_packed() is graph
+
+
+class TestNumpyAbsentFallback:
+    """The contract when numpy is missing: the packed backend degrades to
+    the ``array('Q')`` fallback (same surface, mask-path speed) instead of
+    erroring; only *direct* construction of the numpy classes raises."""
 
     @pytest.fixture
     def no_numpy(self, monkeypatch):
@@ -193,46 +277,56 @@ class TestNumpyAbsentDegradation:
     def test_packed_available_reports_false(self, no_numpy):
         assert not no_numpy.packed_available()
 
-    def test_constructors_raise_clear_error(self, no_numpy, example_graph):
+    def test_direct_numpy_classes_raise_clear_error(self, no_numpy):
         from repro.graph import PackedBackendUnavailable
 
-        # The dedicated subclass lets callers (e.g. the CLI) distinguish the
-        # configuration problem from fail-loud internal RuntimeErrors.
+        # The dedicated subclass lets callers distinguish the configuration
+        # problem from fail-loud internal RuntimeErrors.
         with pytest.raises(PackedBackendUnavailable, match="numpy"):
             PackedBipartiteGraph(2, 2)
-        with pytest.raises(RuntimeError, match="packed"):
-            example_graph.to_packed()
         with pytest.raises(PackedBackendUnavailable, match="numpy"):
             PackedGraph(3)
 
-    def test_as_backend_raises_only_for_packed(self, no_numpy, example_graph):
-        with pytest.raises(RuntimeError, match="numpy"):
-            as_backend(example_graph, "packed")
-        assert supports_masks(as_backend(example_graph, "bitset"))
-        assert as_backend(example_graph, "set") is example_graph
+    def test_conversions_select_the_fallback(self, no_numpy, example_graph, tiny_graph):
+        packed = example_graph.to_packed()
+        assert isinstance(packed, ArrayPackedBipartiteGraph)
+        assert supports_batch(packed) and not supports_vector_batch(packed)
+        assert packed == example_graph
+        assert isinstance(as_backend(example_graph, "packed"), ArrayPackedBipartiteGraph)
+        assert as_backend(packed, "packed") is packed
+        assert isinstance(inflate(tiny_graph, backend="packed"), ArrayPackedGraph)
+        from repro.graph import available_backends
 
-    def test_inflate_raises_only_for_packed(self, no_numpy, tiny_graph):
-        with pytest.raises(RuntimeError, match="numpy"):
-            inflate(tiny_graph, backend="packed")
-        assert inflate(tiny_graph, backend="bitset").num_edges == inflate(tiny_graph).num_edges
+        assert available_backends() == ("set", "bitset", "packed")
 
-    def test_enumeration_raises_cleanly_for_packed(self, no_numpy, example_graph):
+    def test_enumeration_works_on_the_fallback(self, no_numpy, example_graph):
         from repro.core import ITraversal
 
-        with pytest.raises(RuntimeError, match="numpy"):
-            ITraversal(example_graph, 1, backend="packed")
-        assert ITraversal(example_graph, 1, backend="bitset").enumerate()
+        expected = ITraversal(example_graph, 1, backend="set").enumerate()
+        assert ITraversal(example_graph, 1, backend="packed").enumerate() == expected
 
-    def test_cli_reports_clean_error(self, no_numpy, tmp_path, capsys, example_graph):
+    def test_butterfly_and_cores_work_on_the_fallback(self, no_numpy, example_graph):
+        from repro.graph.butterfly import edge_butterfly_counts, k_bitruss
+        from repro.graph.cores import alpha_beta_core
+
+        packed = example_graph.to_packed()
+        assert edge_butterfly_counts(packed) == edge_butterfly_counts(example_graph)
+        assert sorted(k_bitruss(packed, 1).edges()) == sorted(
+            k_bitruss(example_graph, 1).edges()
+        )
+        assert alpha_beta_core(packed, 2, 2) == alpha_beta_core(example_graph, 2, 2)
+
+    def test_cli_backend_packed_succeeds(self, no_numpy, tmp_path, capsys, example_graph):
         from repro.cli import main
         from repro.graph import write_edge_list
 
         path = tmp_path / "graph.txt"
         write_edge_list(example_graph, path)
-        assert main(["enumerate", "--input", str(path), "--backend", "packed"]) == 2
-        captured = capsys.readouterr()
-        assert "numpy" in captured.err
-        assert main(["enumerate", "--input", str(path), "--backend", "bitset", "--quiet"]) == 0
+        assert main(["enumerate", "--input", str(path), "--backend", "packed", "--quiet"]) == 0
+        packed_out = capsys.readouterr().out
+        assert main(["enumerate", "--input", str(path), "--backend", "set", "--quiet"]) == 0
+        set_out = capsys.readouterr().out
+        assert packed_out.split("elapsed")[0] == set_out.split("elapsed")[0]
 
 
 def test_example_graph_has_edges(example_graph):

@@ -229,13 +229,11 @@ class TestButterflies:
                 for v, u in to_remove:
                     working.remove_edge(v, u)
 
-        from repro.graph import packed_available
-
         for seed in range(4):
             graph = erdos_renyi_bipartite(6, 6, num_edges=18 + seed * 4, seed=seed)
-            backend_graphs = [graph, graph.to_bitset()]
-            if packed_available():
-                backend_graphs.append(graph.to_packed())
+            # to_packed() selects the numpy class or the array('Q') fallback
+            # depending on the environment; both must agree with the oracle.
+            backend_graphs = [graph, graph.to_bitset(), graph.to_packed()]
             for k in (1, 2, 3):
                 for backend_graph in backend_graphs:
                     assert sorted(k_bitruss(backend_graph, k).edges()) == sorted(
@@ -267,6 +265,43 @@ class TestButterflies:
             converted = as_backend(graph, backend)
             assert count_butterflies(converted) == count_butterflies(graph)
             assert edge_butterfly_counts(converted) == edge_butterfly_counts(graph)
+
+    @staticmethod
+    def _naive_edge_supports(graph):
+        """Brute-force oracle: the literal 4-loop over rectangle corners."""
+        support = {}
+        for v, u in graph.edges():
+            count = 0
+            for v_prime in graph.left_vertices():
+                if v_prime == v or not graph.has_edge(v_prime, u):
+                    continue
+                for u_prime in graph.right_vertices():
+                    if u_prime == u:
+                        continue
+                    if graph.has_edge(v, u_prime) and graph.has_edge(v_prime, u_prime):
+                        count += 1
+            support[(v, u)] = count
+        return support
+
+    def test_edge_supports_match_naive_four_loop_all_backends(self):
+        # The oracle is quartic, so it runs once per graph and all three
+        # backend implementations are differenced against the same result.
+        from repro.graph import as_backend
+
+        cases = [
+            erdos_renyi_bipartite(6, 9, num_edges=22 + 4 * seed, seed=seed)
+            for seed in range(3)
+        ]
+        # Side sizes beyond 64 force multi-word packed rows (and a multi-word
+        # unpacked incidence matrix in the vectorized kernel).
+        cases.append(erdos_renyi_bipartite(70, 70, num_edges=260, seed=23))
+        for graph in cases:
+            expected = self._naive_edge_supports(graph)
+            for backend in ("set", "bitset", "packed"):
+                assert edge_butterfly_counts(as_backend(graph, backend)) == expected, (
+                    backend,
+                    graph,
+                )
 
     @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_butterfly_backends_agree_beyond_one_word(self, backend):
@@ -306,13 +341,18 @@ class TestBitsetGeneralGraph:
             inflate(tiny_graph, backend="numpy")
 
     def test_inflate_packed_backend(self, tiny_graph):
-        from repro.graph import PackedGraph, inflate, packed_available, supports_batch
+        from repro.graph import (
+            inflate,
+            packed_available,
+            packed_graph_class,
+            supports_batch,
+            supports_vector_batch,
+        )
 
-        if not packed_available():
-            pytest.skip("packed backend requires numpy >= 2.0")
         packed = inflate(tiny_graph, backend="packed")
-        assert isinstance(packed, PackedGraph)
+        assert isinstance(packed, packed_graph_class())
         assert supports_batch(packed)
+        assert supports_vector_batch(packed) == packed_available()
         assert sorted(packed.edges()) == sorted(inflate(tiny_graph).edges())
 
 
