@@ -1,0 +1,136 @@
+"""Sharded parallel enumeration benchmark (the PR 5 tentpole).
+
+Times iTraversal on dense Erdős–Rényi configurations serially and on the
+sharded parallel engine (``jobs ∈ {2, 4}``), asserting on every row that
+all runs enumerate the *identical* solution set (the parallel runs in the
+deterministic sorted mode, compared as canonical key lists).  The timed
+window includes the worker-pool spin-up and the merge — that is the real
+cost a caller pays.
+
+The full-size run additionally asserts the ISSUE 5 acceptance target: a
+wall-clock speedup of at least 1.5x at ``jobs=4`` on at least one dense ER
+configuration.  The assertion is gated on the machine actually having 4
+CPU cores (mirroring how the packed benchmark gates on numpy): on fewer
+cores the workers time-share and the equality checks are still exercised,
+but no speedup can physically materialise.
+
+Runnable standalone (``python benchmarks/bench_parallel.py``) or via
+pytest-benchmark.  Set ``REPRO_BENCH_TINY=1`` for smoke-test sizes (used
+by CI).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # standalone run: mirror conftest's path setup
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.core import ITraversal
+from repro.graph import erdos_renyi_bipartite
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+JOBS_COMPARED = (1, 2, 4)
+SPEEDUP_TARGET = 1.5
+SPEEDUP_JOBS = 4
+
+#: (n_left, n_right, edge_density, k) — dense ER, the regime where the
+#: traversal forest is bushy and the per-anchor shards carry real work.
+PARALLEL_BENCH_CONFIGS = (
+    (16, 16, 4.0, 1),
+    (20, 20, 2.5, 1),
+)
+TINY_PARALLEL_CONFIGS = ((10, 10, 2.0, 1),)
+
+
+def _enumerate_keys(graph, k: int, jobs: int):
+    """Run iTraversal and return (sorted canonical keys, stats)."""
+    algorithm = ITraversal(graph, k, jobs=jobs)
+    keys = [solution.key() for solution in algorithm.enumerate()]
+    if jobs == 1:
+        keys.sort()  # serial output is in DFS order; compare canonically
+    return keys, algorithm.stats
+
+
+def run_parallel_comparison(configs=None, seed: int = 9):
+    """One row per graph config: wall-clock per jobs value + speedups."""
+    if configs is None:
+        configs = TINY_PARALLEL_CONFIGS if TINY else PARALLEL_BENCH_CONFIGS
+    rows = []
+    for n_left, n_right, density, k in configs:
+        graph = erdos_renyi_bipartite(n_left, n_right, edge_density=density, seed=seed)
+        seconds = {}
+        keys = {}
+        shards = 0
+        for jobs in JOBS_COMPARED:
+            start = time.perf_counter()
+            keys[jobs], stats = _enumerate_keys(graph, k, jobs)
+            seconds[jobs] = time.perf_counter() - start
+            if jobs > 1:
+                shards = max(shards, stats.num_shards)
+        for jobs in JOBS_COMPARED[1:]:
+            assert keys[jobs] == keys[1], (
+                f"jobs={jobs} must enumerate the identical solution set "
+                f"({n_left}x{n_right} d={density} k={k})"
+            )
+        rows.append(
+            {
+                "n_left": n_left,
+                "n_right": n_right,
+                "edge_density": density,
+                "k": k,
+                "num_solutions": len(keys[1]),
+                "num_shards": shards,
+                "serial_seconds": seconds[1],
+                "jobs2_seconds": seconds[2],
+                "jobs4_seconds": seconds[4],
+                "speedup_jobs4": (
+                    seconds[1] / seconds[4] if seconds[4] else float("inf")
+                ),
+            }
+        )
+    return rows
+
+
+def _enough_cores() -> bool:
+    return (os.cpu_count() or 1) >= SPEEDUP_JOBS
+
+
+def _assert_speedup_target(rows):
+    """The ISSUE 5 acceptance target, checked on the full-size run."""
+    speedups = [row["speedup_jobs4"] for row in rows]
+    assert max(speedups) >= SPEEDUP_TARGET, (
+        f"jobs={SPEEDUP_JOBS} must reach >= {SPEEDUP_TARGET}x over serial on "
+        f"at least one dense ER configuration, got speedups {speedups}"
+    )
+
+
+def test_parallel_speedup(benchmark):
+    from conftest import run_once
+
+    from repro.bench.reporting import print_table
+
+    rows = run_once(benchmark, run_parallel_comparison)
+    print()
+    print_table(rows, title="Sharded parallel enumeration: serial vs jobs=2/4")
+    assert all(row["num_solutions"] > 0 for row in rows)
+    if not TINY and _enough_cores():
+        _assert_speedup_target(rows)
+
+
+if __name__ == "__main__":
+    from repro.bench.reporting import print_table
+
+    table = run_parallel_comparison()
+    print_table(table, title="Sharded parallel enumeration: serial vs jobs=2/4")
+    if TINY or not _enough_cores():
+        print(
+            "smoke mode or < 4 CPU cores: solution-set equality checked, "
+            "speedup target skipped"
+        )
+    else:
+        _assert_speedup_target(table)

@@ -38,6 +38,7 @@ from .graph import (
     review_graph_with_camouflage,
     write_edge_list,
 )
+from .parallel import JOBS_ENV_VAR, resolve_jobs
 
 __version__ = "1.0.0"
 
@@ -63,4 +64,6 @@ __all__ = [
     "review_graph_with_camouflage",
     "read_edge_list",
     "write_edge_list",
+    "JOBS_ENV_VAR",
+    "resolve_jobs",
 ]

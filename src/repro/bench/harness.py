@@ -100,10 +100,25 @@ def run_itraversal(
     time_limit: float,
     variant: str = "full",
     anchor: str = "left",
+    jobs: Optional[int] = None,
 ) -> Measurement:
-    """Time iTraversal (or one of its variants) for the first ``max_results`` MBPs."""
+    """Time iTraversal (or one of its variants) for the first ``max_results`` MBPs.
+
+    ``jobs`` selects the sharded parallel engine; the timed window spans
+    ``enumerate()``, which includes the worker-pool spin-up, the streaming
+    merge and the final ordering — pool management is part of the parallel
+    algorithm's cost, not harness overhead.  The INF marker reads the
+    *merged* stats, so a deadline hit inside any worker (or the
+    coordinator) marks the measurement correctly.
+    """
     algorithm = ITraversal(
-        graph, k, variant=variant, anchor=anchor, max_results=max_results, time_limit=time_limit
+        graph,
+        k,
+        variant=variant,
+        anchor=anchor,
+        max_results=max_results,
+        time_limit=time_limit,
+        jobs=jobs,
     )
     start = time.perf_counter()
     solutions = algorithm.enumerate()
@@ -118,12 +133,15 @@ def run_btraversal(
     max_results: Optional[int],
     time_limit: float,
     local_enumeration: str = "inflation",
+    jobs: Optional[int] = None,
 ) -> Measurement:
     """Time bTraversal for the first ``max_results`` MBPs.
 
     The default ``local_enumeration="inflation"`` matches the paper's
     Figure 7 baseline (bTraversal with an inflation-based EnumAlmostSat);
     pass ``"refined"`` for the Figure 11 fair-comparison setting.
+    ``jobs`` selects the sharded parallel engine (timed end to end, as in
+    :func:`run_itraversal`).
     """
     algorithm = BTraversal(
         graph,
@@ -131,6 +149,7 @@ def run_btraversal(
         max_results=max_results,
         time_limit=time_limit,
         local_enumeration=local_enumeration,
+        jobs=jobs,
     )
     start = time.perf_counter()
     solutions = algorithm.enumerate()

@@ -14,7 +14,11 @@ adjacency substrate; ``bitset`` (word-parallel bitmasks) is the default,
 rows — numpy-vectorized when numpy >= 2.0 is installed, an ``array('Q')``
 fallback with identical results otherwise.  All backends enumerate
 identical solution sets.  The ``REPRO_BACKEND`` environment variable
-overrides the default globally.
+overrides the default globally.  ``--jobs N`` (or ``REPRO_JOBS=N``) runs
+the enumeration on the sharded parallel engine (:mod:`repro.parallel`)
+with ``N`` worker processes — the same solution set for uncapped runs
+(a ``--max-results`` cap keeps the first N unique arrivals, which may
+differ from serial's first N), one merged stats line.
 
 Run ``repro-mbp <subcommand> --help`` for the full option list.
 """
@@ -33,6 +37,7 @@ from .core.verify import summarize_solutions
 from .graph.io import read_edge_list
 from .graph.packed import PackedBackendUnavailable
 from .graph.protocol import BACKENDS, default_backend
+from .parallel import resolve_jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +76,19 @@ def _build_parser() -> argparse.ArgumentParser:
     enumerate_parser.add_argument("--max-results", type=int, default=None)
     enumerate_parser.add_argument("--time-limit", type=float, default=None, help="seconds")
     enumerate_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sharded parallel engine (default: the "
+            "REPRO_JOBS environment variable, falling back to 1 = serial; "
+            "0 = one worker per CPU core).  Uncapped runs enumerate exactly "
+            "the serial solution set; with --max-results the cap keeps the "
+            "first N unique solutions to *arrive*, which may differ from "
+            "the serial run's first N"
+        ),
+    )
+    enumerate_parser.add_argument(
         "--quiet", action="store_true", help="print only the summary, not the biplexes"
     )
 
@@ -88,6 +106,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     # only affects the subcommand that uses it, with a clean error message.
     try:
         backend = args.backend if args.backend is not None else default_backend()
+        jobs = resolve_jobs(args.jobs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -105,6 +124,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             max_results=args.max_results,
             time_limit=args.time_limit,
             backend=backend,
+            jobs=jobs,
         )
     except PackedBackendUnavailable as error:
         # Defensive: conversions auto-select the array('Q') fallback when

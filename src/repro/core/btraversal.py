@@ -25,6 +25,7 @@ def btraversal_config(
     output_order: str = "pre",
     local_enumeration: str = "refined",
     backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> TraversalConfig:
     """The :class:`TraversalConfig` corresponding to bTraversal.
 
@@ -35,7 +36,12 @@ def btraversal_config(
     iTraversal, which is the "fair comparison" setting of Figure 11.
     ``backend=None`` resolves to
     :func:`repro.graph.protocol.default_backend` (``bitset`` unless the
-    ``REPRO_BACKEND`` environment variable says otherwise).
+    ``REPRO_BACKEND`` environment variable says otherwise); ``jobs=None``
+    resolves via ``REPRO_JOBS`` (default 1 = serial).  Note that without
+    the exclusion strategy bTraversal's parallel shards overlap heavily —
+    the run stays correct (the coordinator deduplicates) but the
+    duplicated traversal work limits the speedup (see
+    :mod:`repro.parallel`).
     """
     from ..graph.protocol import default_backend
 
@@ -52,6 +58,7 @@ def btraversal_config(
         output_order=output_order,
         local_enumeration=local_enumeration,
         backend=backend,
+        jobs=jobs,
     )
 
 
@@ -77,6 +84,7 @@ class BTraversal:
         output_order: str = "pre",
         local_enumeration: str = "refined",
         backend: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -90,6 +98,7 @@ class BTraversal:
                 output_order=output_order,
                 local_enumeration=local_enumeration,
                 backend=backend,
+                jobs=jobs,
             ),
         )
 

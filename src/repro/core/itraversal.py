@@ -30,12 +30,16 @@ def itraversal_config(
     time_limit: Optional[float] = None,
     output_order: str = "pre",
     backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> TraversalConfig:
     """Build the :class:`TraversalConfig` of iTraversal or one of its ablations.
 
     ``backend=None`` (the default) resolves to
     :func:`repro.graph.protocol.default_backend` — ``bitset`` unless
-    overridden via the ``REPRO_BACKEND`` environment variable.
+    overridden via the ``REPRO_BACKEND`` environment variable.  ``jobs``
+    follows the same pattern for the sharded parallel engine: ``None``
+    resolves via ``REPRO_JOBS`` (default 1 = serial), ``0`` means one
+    worker per CPU core.
     """
     from ..graph.protocol import default_backend
 
@@ -53,6 +57,7 @@ def itraversal_config(
         time_limit=time_limit,
         output_order=output_order,
         backend=backend,
+        jobs=jobs,
     )
 
 
@@ -79,6 +84,14 @@ class ITraversal:
         ``"bitset"`` (the graph is converted to the bitmask substrate for
         the word-parallel hot paths); pass ``"set"`` — or export
         ``REPRO_BACKEND=set`` — for plain-set adjacency.
+    jobs:
+        Worker processes for the sharded parallel engine
+        (:mod:`repro.parallel`).  ``None`` resolves via ``REPRO_JOBS``
+        (default 1 = serial), ``0`` means one worker per CPU core; any
+        value produces the same solution set as the serial run for
+        uncapped enumerations (a ``max_results``/``time_limit`` cap keeps
+        the first unique solutions to arrive, which may differ from
+        serial's first N).
 
     Examples
     --------
@@ -108,6 +121,7 @@ class ITraversal:
         time_limit: Optional[float] = None,
         output_order: str = "pre",
         backend: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         if variant not in self.VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {sorted(self.VARIANTS)}")
@@ -133,6 +147,7 @@ class ITraversal:
             time_limit=time_limit,
             output_order=output_order,
             backend=backend,
+            jobs=jobs,
         )
         self._engine = ReverseSearchEngine(working_graph, k, config)
 
@@ -174,6 +189,7 @@ def enumerate_mbps(
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
     backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate maximal k-biplexes with iTraversal; the main library entry point.
 
@@ -186,6 +202,7 @@ def enumerate_mbps(
         max_results=max_results,
         time_limit=time_limit,
         backend=backend,
+        jobs=jobs,
     )
     solutions = algorithm.enumerate()
     return solutions, algorithm.stats
@@ -199,6 +216,7 @@ def enumerate_large_mbps(
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
     backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate MBPs whose two sides both have at least ``theta`` vertices.
 
@@ -217,6 +235,7 @@ def enumerate_large_mbps(
         max_results=max_results,
         time_limit=time_limit,
         backend=backend,
+        jobs=jobs,
     )
     solutions = enumerator.enumerate()
     return solutions, enumerator.stats

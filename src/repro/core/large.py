@@ -49,6 +49,13 @@ class LargeMBPEnumerator:
         (``bitset`` by default).  The conversion happens *before* the core
         preprocessing, so the peeling also runs on the word-parallel masked
         path — fully vectorized on the ``packed`` backend.
+    jobs:
+        Worker processes for the sharded parallel engine
+        (:mod:`repro.parallel`); ``None`` resolves via ``REPRO_JOBS``
+        (default 1 = serial), ``0`` means one worker per CPU core.  The
+        per-worker statistics — including the truncation flags — are merged
+        back into :attr:`stats`, so ``stats.truncated`` is reliable for
+        parallel runs too.
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class LargeMBPEnumerator:
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
         backend: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -98,6 +106,7 @@ class LargeMBPEnumerator:
             max_results=max_results,
             time_limit=time_limit,
             backend=backend,
+            jobs=jobs,
         )
 
     @property
@@ -110,13 +119,31 @@ class LargeMBPEnumerator:
         """Counters of the last run."""
         return self._algorithm.stats
 
+    @property
+    def truncated(self) -> bool:
+        """Whether the last run was cut short by ``max_results``/``time_limit``.
+
+        Delegates to :attr:`TraversalStats.truncated`; valid even when the
+        consumer stopped iterating :meth:`run` the moment the cap was
+        reached (the engine raises the result-limit flag *before* yielding
+        the capped solution), so a capped run is never reported as
+        complete.
+        """
+        return self._algorithm.stats.truncated
+
     def run(self) -> Iterator[Biplex]:
-        """Lazily yield large MBPs in the original graph's vertex ids."""
+        """Lazily yield large MBPs in the original graph's vertex ids.
+
+        The ``_translate`` wrapper is transparent to the engine's
+        truncation accounting: ``stats.hit_result_limit`` /
+        ``stats.hit_time_limit`` are already set by the time the affected
+        solution (or the end of the stream) reaches the caller.
+        """
         for solution in self._algorithm.run():
             yield self._translate(solution)
 
     def enumerate(self) -> List[Biplex]:
-        """Enumerate all large MBPs."""
+        """Enumerate all large MBPs (check :attr:`truncated` for completeness)."""
         return list(self.run())
 
     def _translate(self, solution: Biplex) -> Biplex:
@@ -129,7 +156,10 @@ def filter_large(solutions: List[Biplex], theta_left: int, theta_right: int) -> 
     """Post-filter a solution list by side sizes.
 
     This is what bTraversal has to do (enumerate everything, then filter);
-    it exists so benchmarks can contrast the two approaches.
+    it exists so benchmarks can contrast the two approaches.  Filtering
+    carries no completeness information of its own: when ``solutions``
+    came from a capped run, consult that run's ``stats.truncated`` before
+    treating the filtered list as the full answer.
     """
     return [
         solution

@@ -38,13 +38,22 @@ def erdos_renyi_bipartite(
     density follows the paper's definition ``|E| / (|L| + |R|)``.
 
     Edges are sampled uniformly at random without replacement from the
-    ``n_left * n_right`` possible pairs.
+    ``n_left * n_right`` possible pairs.  Requests that cannot be satisfied
+    — negative counts or densities, or more edges than the ``n_left *
+    n_right`` pairs can hold — raise :class:`ValueError` instead of looping
+    or silently returning a smaller graph.  Given the same arguments and
+    ``seed``, the generated edge set is identical on every platform
+    (``random.Random`` is a portable, versioned generator).
     """
     if (num_edges is None) == (edge_density is None):
         raise ValueError("specify exactly one of num_edges or edge_density")
     if edge_density is not None:
+        if edge_density < 0:
+            raise ValueError(f"edge_density must be non-negative, got {edge_density}")
         num_edges = int(round(edge_density * (n_left + n_right)))
     assert num_edges is not None
+    if num_edges < 0:
+        raise ValueError(f"num_edges must be non-negative, got {num_edges}")
     max_edges = n_left * n_right
     if num_edges > max_edges:
         raise ValueError(f"cannot place {num_edges} edges in a {n_left}x{n_right} bipartite graph")
@@ -79,13 +88,20 @@ def power_law_bipartite(
     skewed degrees; the dataset stand-ins use this generator so that the
     enumeration algorithms see realistic hub structure.  Endpoints of each
     edge are drawn from a discrete power-law weight vector on each side.
+    Impossible requests (negative counts, more edges than ``n_left *
+    n_right``) raise :class:`ValueError` rather than silently producing a
+    smaller graph.
     """
+    if num_edges < 0:
+        raise ValueError(f"num_edges must be non-negative, got {num_edges}")
+    max_edges = n_left * n_right
+    if num_edges > max_edges:
+        raise ValueError(f"cannot place {num_edges} edges in a {n_left}x{n_right} bipartite graph")
     rng = random.Random(seed)
     left_weights = [1.0 / (i + 1) ** exponent for i in range(n_left)]
     right_weights = [1.0 / (i + 1) ** exponent for i in range(n_right)]
     graph = BipartiteGraph(n_left, n_right)
-    max_edges = n_left * n_right
-    target = min(num_edges, max_edges)
+    target = num_edges
     attempts = 0
     max_attempts = 50 * target + 1000
     while graph.num_edges < target and attempts < max_attempts:
@@ -144,9 +160,22 @@ def planted_biplex_graph_with_blocks(
     num_blocks: int = 1,
     seed: Optional[int] = None,
 ) -> Tuple[BipartiteGraph, List[Tuple[Set[int], Set[int]]]]:
-    """Like :func:`planted_biplex_graph` but also returns the planted blocks."""
+    """Like :func:`planted_biplex_graph` but also returns the planted blocks.
+
+    ``background_edges`` must be non-negative and at most ``n_left *
+    n_right`` (the absolute pair capacity); within that, the filled count
+    is additionally capped by the pairs the randomly-built blocks leave
+    free, which the caller cannot know in advance.
+    """
     if num_blocks * block_left > n_left or num_blocks * block_right > n_right:
         raise ValueError("planted blocks do not fit in the requested graph")
+    if background_edges < 0:
+        raise ValueError(f"background_edges must be non-negative, got {background_edges}")
+    if background_edges > n_left * n_right:
+        raise ValueError(
+            f"cannot place {background_edges} background edges in a "
+            f"{n_left}x{n_right} bipartite graph"
+        )
     rng = random.Random(seed)
     graph = BipartiteGraph(n_left, n_right)
     blocks: List[Tuple[Set[int], Set[int]]] = []
@@ -221,7 +250,36 @@ def review_graph_with_camouflage(
         ``graph`` has ``n_real_users + n_fake_users`` left vertices (fake
         users occupy the trailing id range) and similarly for products;
         ``injection`` records the ground-truth fake vertex sets.
+
+    Raises
+    ------
+    ValueError
+        If any size or review count is negative, or a review count exceeds
+        the pair capacity of its block (real×real, fake×fake or
+        fake-users×real-products).  Within capacity the skewed/balanced
+        placement is best-effort: heavily saturated blocks may end up with
+        slightly fewer edges than requested.
     """
+    for name, value in (
+        ("n_real_users", n_real_users),
+        ("n_real_products", n_real_products),
+        ("n_real_reviews", n_real_reviews),
+        ("n_fake_users", n_fake_users),
+        ("n_fake_products", n_fake_products),
+        ("n_fake_reviews", n_fake_reviews),
+        ("n_camouflage_reviews", n_camouflage_reviews),
+    ):
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+    for name, count, capacity in (
+        ("n_real_reviews", n_real_reviews, n_real_users * n_real_products),
+        ("n_fake_reviews", n_fake_reviews, n_fake_users * n_fake_products),
+        ("n_camouflage_reviews", n_camouflage_reviews, n_fake_users * n_real_products),
+    ):
+        if count > capacity:
+            raise ValueError(
+                f"cannot place {count} {name} edges in a block with {capacity} pairs"
+            )
     rng = random.Random(seed)
     n_users = n_real_users + n_fake_users
     n_products = n_real_products + n_fake_products

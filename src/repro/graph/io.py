@@ -9,7 +9,14 @@ Two plain-text formats are supported:
 * **KONECT-style** — the ``out.<name>`` files distributed by the KONECT
   project (http://konect.cc), which the paper's real datasets come from:
   whitespace-separated ``left right [weight [timestamp]]`` rows with 1-based
-  ids and ``%``-prefixed comments.
+  ids and ``%``-prefixed comments.  The second comment line conventionally
+  carries ``% num_edges n_left n_right``; it is honoured when present, so
+  trailing isolated vertices survive a write → read round trip.
+
+Both readers are tolerant of blank lines, ``#``/``%`` comments, CRLF line
+endings and a UTF-8 byte-order mark, and both round-trip exactly against
+their writers: side sizes (including isolated vertices), edge sets and
+duplicate-edge idempotency (repeated lines add one edge) are preserved.
 """
 
 from __future__ import annotations
@@ -32,7 +39,9 @@ def write_edge_list(graph: BipartiteGraph, path: PathLike) -> None:
 
 def read_edge_list(path: PathLike) -> BipartiteGraph:
     """Read a graph written by :func:`write_edge_list` (or any 0-based edge list)."""
-    with open(path, "r", encoding="utf-8") as handle:
+    # utf-8-sig: tolerate a BOM (files produced on Windows); identical to
+    # plain utf-8 otherwise.
+    with open(path, "r", encoding="utf-8-sig") as handle:
         return _parse_edge_list(handle)
 
 
@@ -72,14 +81,37 @@ def _parse_edge_list(handle: TextIO) -> BipartiteGraph:
 
 
 def read_konect(path: PathLike) -> BipartiteGraph:
-    """Read a KONECT ``out.*`` bipartite file (1-based ids, ``%`` comments)."""
+    """Read a KONECT ``out.*`` bipartite file (1-based ids, ``%`` comments).
+
+    KONECT's second header line — ``% num_edges n_left n_right`` — is parsed
+    when present, so isolated vertices (ids beyond the largest edge
+    endpoint) are preserved; without it the side sizes are inferred from
+    the maximum ids, exactly as before.  The declared sizes are advisory:
+    an edge referencing a vertex beyond them grows the side (real KONECT
+    headers are occasionally sloppy), so reading never silently drops
+    edges.
+    """
     edges: List[Tuple[int, int]] = []
     max_left = 0
     max_right = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        for raw_line in handle:
+    declared_sizes: Optional[Tuple[int, int]] = None
+    with open(path, "r", encoding="utf-8-sig") as handle:
+        for line_number, raw_line in enumerate(handle):
             line = raw_line.strip()
-            if not line or line.startswith("%") or line.startswith("#"):
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("%"):
+                # The KONECT layout puts the size meta line at the top of
+                # the file (`% <format>` then `% m n_left n_right`); only
+                # the first two physical lines are considered, so a numeric
+                # comment further down (dates, statistics) cannot be
+                # misread as declared sizes.
+                fields = line[1:].split()
+                if declared_sizes is None and line_number < 2 and len(fields) >= 3:
+                    try:
+                        declared_sizes = (int(fields[1]), int(fields[2]))
+                    except ValueError:
+                        pass
                 continue
             fields = line.split()
             if len(fields) < 2:
@@ -90,7 +122,11 @@ def read_konect(path: PathLike) -> BipartiteGraph:
             edges.append((left_vertex - 1, right_vertex - 1))
             max_left = max(max_left, left_vertex)
             max_right = max(max_right, right_vertex)
-    return BipartiteGraph(max_left, max_right, edges=edges)
+    n_left, n_right = max_left, max_right
+    if declared_sizes is not None:
+        n_left = max(n_left, declared_sizes[0])
+        n_right = max(n_right, declared_sizes[1])
+    return BipartiteGraph(n_left, n_right, edges=edges)
 
 
 def write_konect(graph: BipartiteGraph, path: PathLike, name: str = "graph") -> None:

@@ -1,0 +1,74 @@
+"""Shard-plan computation: one shard per root anchor, serial-faithful.
+
+The plan replicates the serial engine's root-level ``_children`` pass
+*without* running EnumAlmostSat: it only needs the anchor order and the
+exclusion-prefix bookkeeping, both of which are pure functions of the root
+solution and the configuration.  Every per-anchor decision that needs the
+graph (the Section 5 Γ-pruning, the local-solution enumeration) happens
+inside the worker that executes the shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from ..core.biplex import Biplex
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of parallel work: a root anchor plus its exclusion prefix.
+
+    Attributes
+    ----------
+    side:
+        ``"L"`` or ``"R"`` — which side the anchor vertex lives on (right
+        anchors only occur for bTraversal-style configurations).
+    vertex:
+        The Step-1 candidate vertex outside the root solution.
+    exclusion:
+        The exclusion set the serial DFS would hand the children derived
+        from this anchor: the left anchors processed before it (empty when
+        the exclusion strategy is off).
+    """
+
+    side: str
+    vertex: int
+    exclusion: FrozenSet[int]
+
+
+def shard_plan(engine, root: Biplex) -> List[Shard]:
+    """The shards of ``engine``'s traversal forest below ``root``.
+
+    Mirrors the serial root expansion exactly: same anchor order (left
+    side ascending, then — without left-anchoring — right side ascending),
+    same early-out prunings with the root's empty exclusion set, and the
+    same exclusion-prefix accumulation (*every* earlier left anchor joins
+    the prefix, whether or not its almost-satisfying graph survived the
+    Γ-pruning — serial appends pruned candidates to ``processed`` too).
+    """
+    config = engine.config
+    # Section 5 solution pruning at the root (serial `_children` early outs,
+    # evaluated with the root's empty exclusion set).
+    if (
+        config.theta_right
+        and config.right_shrinking
+        and len(root.right) < config.theta_right
+    ):
+        return []
+    if (
+        config.theta_left
+        and config.exclusion
+        and engine.graph.n_left < config.theta_left
+    ):
+        return []
+    shards: List[Shard] = []
+    processed: List[int] = []
+    for side, vertex in engine._candidate_vertices(root):
+        if side == "L" and config.exclusion:
+            shards.append(Shard(side, vertex, frozenset(processed)))
+            processed.append(vertex)
+        else:
+            shards.append(Shard(side, vertex, frozenset()))
+    return shards

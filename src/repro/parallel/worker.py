@@ -1,0 +1,133 @@
+"""Worker-process entry point of the sharded parallel engine.
+
+Kept in its own importable module so the ``spawn`` start method can pickle
+the target by reference; under ``fork`` (the Linux default) the arguments
+are inherited and never serialised.  The worker owns one
+:class:`~repro.core.traversal.ReverseSearchEngine` for its whole lifetime,
+but ``run_shard`` resets the visited map per shard on purpose: each
+shard's traversal is a pure function of ``(root, anchor, exclusion)``, so
+the merged work counters do not depend on how the dynamic scheduler
+assigned shards to workers (cross-shard duplicates are removed by the
+coordinator instead).  The per-shard stats are accumulated into one
+running total that is shipped back exactly once, at exit.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import asdict
+
+from ..core.traversal import ReverseSearchEngine, TraversalStats
+
+#: Solutions are streamed back in batches of this size: large enough to
+#: amortise the queue/pickling round trip, small enough that the
+#: coordinator's max_results cancellation stays responsive.
+SOLUTION_BATCH_SIZE = 64
+
+
+class _ThrottledCancel:
+    """Poll a shared event only every ``interval`` probes.
+
+    The engine probes the cancellation hook on every time check (per
+    reported solution and per Step-1 candidate); reading a
+    ``multiprocessing.Event`` is a shared-semaphore access, cheap but not
+    free, so the probe is decimated.
+    """
+
+    __slots__ = ("_event", "_interval", "_tick")
+
+    def __init__(self, event, interval: int = 64) -> None:
+        self._event = event
+        self._interval = interval
+        self._tick = 0
+
+    def __call__(self) -> bool:
+        self._tick += 1
+        if self._tick % self._interval:
+            return False
+        return self._event.is_set()
+
+
+def _accumulate(totals: TraversalStats, shard_stats: TraversalStats) -> None:
+    """Fold one shard's counters into the worker's running totals."""
+    totals.num_solutions += shard_stats.num_solutions
+    totals.num_reported += shard_stats.num_reported
+    totals.num_links += shard_stats.num_links
+    totals.num_almost_sat_graphs += shard_stats.num_almost_sat_graphs
+    totals.num_local_solutions += shard_stats.num_local_solutions
+    totals.elapsed_seconds += shard_stats.elapsed_seconds
+    totals.hit_result_limit |= shard_stats.hit_result_limit
+    totals.hit_time_limit |= shard_stats.hit_time_limit
+
+
+def worker_main(
+    worker_id: int,
+    graph,
+    k: int,
+    config,
+    root,
+    shards,
+    task_queue,
+    result_queue,
+    cancel_event,
+    deadline,
+) -> None:
+    """Pull shard indices until the sentinel, streaming solutions back.
+
+    ``config`` arrives pre-sanitised by the coordinator (``jobs=1``, no
+    ``max_results`` — the global cap is enforced cooperatively, a per-shard
+    cap could starve the merged unique count).  ``deadline`` is an absolute
+    ``time.time()`` instant shared by every worker; each shard runs with
+    whatever budget remains of it.
+    """
+    totals = TraversalStats()
+    try:
+        engine = ReverseSearchEngine(graph, k, config)
+        engine._cancel = _ThrottledCancel(cancel_event)
+        # Inherited exclusion prefixes keep the shards nearly disjoint; the
+        # engine's visited-map re-exploration rule repairs the over-pruning
+        # they cause (see ReverseSearchEngine.__init__).
+        engine._inherit_exclusions = True
+        while True:
+            index = task_queue.get()
+            if index is None:
+                break
+            if cancel_event.is_set():
+                break
+            if deadline is not None:
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    totals.hit_time_limit = True
+                    break
+                engine.config.time_limit = remaining
+            shard = shards[index]
+            batch = []
+            try:
+                for solution in engine.run_shard(
+                    root, (shard.side, shard.vertex), shard.exclusion
+                ):
+                    batch.append(solution)
+                    if len(batch) >= SOLUTION_BATCH_SIZE:
+                        result_queue.put(("solutions", batch))
+                        batch = []
+                    if cancel_event.is_set():
+                        break
+            finally:
+                _accumulate(totals, engine.stats)
+                if batch:
+                    result_queue.put(("solutions", batch))
+    except (KeyboardInterrupt, EOFError, BrokenPipeError):  # pragma: no cover
+        # Parent interrupted or tore the queues down mid-run; the "done"
+        # message below is best-effort.
+        pass
+    except BaseException:
+        try:
+            result_queue.put(("error", worker_id, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queues already gone
+            pass
+        return
+    try:
+        result_queue.put(("done", worker_id, asdict(totals)))
+    except Exception:  # pragma: no cover - queues already gone
+        pass

@@ -14,6 +14,11 @@ and pin, for every single run, that
 This is the systematic oracle the per-feature equivalence tests sample from:
 any backend fast path (mask or batch) that changes results anywhere in the
 enumeration stack fails here with an attributable message.
+
+PR 5 added a ``jobs ∈ {1, 2}`` axis for the engine-backed enumerators
+(iTraversal, bTraversal, the large-MBP enumerator): the sharded parallel
+engine must produce exactly the serial solution set on every backend, and
+its output must still support the solution-graph layer.
 """
 
 from __future__ import annotations
@@ -71,13 +76,66 @@ def test_every_enumerator_matches_the_oracle(backend, k):
 
 
 @pytest.mark.parametrize("k", (1, 2))
+@pytest.mark.parametrize("jobs", (1, 2))
 @pytest.mark.parametrize("backend", ALL_BACKENDS)
-def test_large_mbp_enumerator_matches_filtered_oracle(backend, k):
+def test_traversals_match_oracle_serial_and_parallel(backend, jobs, k):
+    """The jobs axis: every engine-backed enumerator, serial vs sharded.
+
+    ``jobs=1`` pins the dispatch path (explicit jobs must not change the
+    serial behaviour); ``jobs=2`` drives the full parallel machinery —
+    shard planning, worker pool, dedup merge — whose sorted output must
+    still be exactly the oracle's solution set on every backend.  Tiny
+    graphs whose shard plan has < 2 entries exercise the documented serial
+    fallback.
+    """
+    for index, graph in enumerate(GRAPHS):
+        reference = enumerate_mbps_bruteforce(graph, k)
+        for name, runner in (
+            ("ITraversal", lambda g: ITraversal(g, k, backend=backend, jobs=jobs)),
+            ("BTraversal", lambda g: BTraversal(g, k, backend=backend, jobs=jobs)),
+        ):
+            label = f"{name}[{backend}] jobs={jobs} k={k} g{index}"
+            algorithm = runner(graph)
+            solutions = algorithm.enumerate()
+            check_all_solutions(graph, solutions, k, label=label)
+            assert same_solutions(reference, solutions), (
+                label,
+                missing_and_extra(reference, solutions),
+            )
+            assert algorithm.stats.num_reported == len(solutions), label
+
+
+@pytest.mark.parametrize("k", (1, 2))
+def test_solution_graph_build_over_parallel_output(k):
+    """The parallel engine's output supports the solution-graph layer.
+
+    ``build_solution_graph`` derives its node set from a full (serial)
+    bTraversal; the nodes must coincide with the parallel iTraversal
+    output, and attaching the b-links to the parallel node list must
+    reproduce the paper's strong-connectivity property of ``G``.
+    """
+    from repro.core.solution_graph import SolutionGraph, build_solution_graph
+
+    for index, graph in enumerate(GRAPHS[:3]):
+        parallel_nodes = ITraversal(graph, k, jobs=2).enumerate()
+        reference_graph = build_solution_graph(graph, k, variant="btraversal")
+        assert set(reference_graph.nodes) == set(parallel_nodes), f"k={k} g{index}"
+        rebuilt = SolutionGraph(
+            nodes=list(parallel_nodes), links=list(reference_graph.links)
+        )
+        assert rebuilt.num_nodes == len(parallel_nodes)
+        assert rebuilt.is_strongly_connected(), f"k={k} g{index}"
+
+
+@pytest.mark.parametrize("k", (1, 2))
+@pytest.mark.parametrize("jobs", (1, 2))
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_large_mbp_enumerator_matches_filtered_oracle(backend, jobs, k):
     for index, graph in enumerate(GRAPHS):
         reference = filter_large(enumerate_mbps_bruteforce(graph, k), THETA, THETA)
-        label = f"LargeMBPEnumerator[{backend}] k={k} theta={THETA} g{index}"
+        label = f"LargeMBPEnumerator[{backend}] jobs={jobs} k={k} theta={THETA} g{index}"
         solutions = LargeMBPEnumerator(
-            graph, k, theta=THETA, backend=backend
+            graph, k, theta=THETA, backend=backend, jobs=jobs
         ).enumerate()
         check_all_solutions(graph, solutions, k, label=label)
         assert all(

@@ -217,6 +217,31 @@ class TestCLI:
         assert main(["enumerate", "--input", str(path), "--theta", "3"]) == 0
         assert "solutions=" in capsys.readouterr().out
 
+    def test_enumerate_with_jobs(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_example_graph(), path)
+        assert main(["enumerate", "--input", str(path), "-k", "1", "--jobs", "2", "--quiet"]) == 0
+        parallel_summary = capsys.readouterr().out
+        assert main(["enumerate", "--input", str(path), "-k", "1", "--jobs", "1", "--quiet"]) == 0
+        serial_summary = capsys.readouterr().out
+        # Same solution count either way; the summary line stays one line.
+        assert parallel_summary.split("max_left")[0] == serial_summary.split("max_left")[0]
+
+    def test_enumerate_rejects_negative_jobs(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_example_graph(), path)
+        assert main(["enumerate", "--input", str(path), "--jobs", "-3"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_invalid_repro_jobs_env_is_a_clean_error(self, tmp_path, capsys, monkeypatch):
+        from repro.parallel import JOBS_ENV_VAR
+
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_example_graph(), path)
+        assert main(["enumerate", "--input", str(path)]) == 2
+        assert JOBS_ENV_VAR in capsys.readouterr().err
+
     def test_experiment_command(self, capsys):
         assert main(["experiment", "table1"]) == 0
         assert "divorce" in capsys.readouterr().out

@@ -1,0 +1,239 @@
+"""Round-trip property tests for graph I/O and generator input validation.
+
+The I/O half pins the PR 5 bugfix bundle: ``write_edge_list → read_edge_list``
+and ``write_konect → read_konect`` must preserve the graph exactly —
+including isolated vertices, which the KONECT reader used to drop because it
+ignored the ``% num_edges n_left n_right`` meta line its own writer emits —
+and both readers must tolerate comment/blank lines, CRLF endings, a UTF-8
+BOM and duplicate edge lines (idempotent adds).
+
+The generator half pins fail-fast validation (negative counts / densities
+and over-capacity requests raise ``ValueError`` instead of looping or
+silently clamping) and cross-platform seed determinism via golden edge
+sets (``random.Random`` is a portable, versioned generator, so these sets
+are stable across OSes and CPython versions).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import BipartiteGraph
+from repro.graph.generators import (
+    erdos_renyi_bipartite,
+    planted_biplex_graph_with_blocks,
+    power_law_bipartite,
+    review_graph_with_camouflage,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_konect,
+    write_edge_list,
+    write_konect,
+)
+
+
+def _random_graphs_with_isolated_vertices(count: int, seed: int):
+    """Random graphs with deliberately oversized sides (trailing isolated
+    vertices on both sides are the round-trip case that used to break)."""
+    rng = random.Random(seed)
+    graphs = []
+    for index in range(count):
+        n_left = rng.randint(1, 8)
+        n_right = rng.randint(1, 8)
+        max_edges = n_left * n_right
+        num_edges = rng.randint(0, max_edges)
+        graph = erdos_renyi_bipartite(
+            n_left + rng.randint(0, 3),
+            n_right + rng.randint(0, 3),
+            num_edges=0,
+            seed=index,
+        )
+        dense = erdos_renyi_bipartite(n_left, n_right, num_edges=num_edges, seed=index)
+        for left_vertex, right_vertex in dense.edges():
+            graph.add_edge(left_vertex, right_vertex)
+        graphs.append(graph)
+    return graphs
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip_preserves_graph_exactly(self, tmp_path):
+        for index, graph in enumerate(_random_graphs_with_isolated_vertices(8, seed=5)):
+            path = tmp_path / f"graph{index}.txt"
+            write_edge_list(graph, path)
+            loaded = read_edge_list(path)
+            assert loaded == graph
+            assert (loaded.n_left, loaded.n_right) == (graph.n_left, graph.n_right)
+            assert loaded.num_edges == graph.num_edges
+
+    def test_duplicate_lines_are_idempotent(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("% 2 2\n0 0\n0 0\n1 1\n0 0\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_crlf_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "crlf.txt"
+        path.write_bytes(b"% 3 3\r\n# comment\r\n\r\n0 0\r\n% another comment\r\n2 2\r\n")
+        graph = read_edge_list(path)
+        assert (graph.n_left, graph.n_right, graph.num_edges) == (3, 3, 2)
+
+    def test_utf8_bom_tolerated(self, tmp_path):
+        path = tmp_path / "bom.txt"
+        path.write_bytes("﻿% 2 2\n0 0\n1 1\n".encode("utf-8"))
+        graph = read_edge_list(path)
+        assert (graph.n_left, graph.n_right, graph.num_edges) == (2, 2, 2)
+
+    def test_header_smaller_than_ids_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("% 1 1\n0 0\n3 0\n")
+        with pytest.raises(ValueError, match="declared size header"):
+            read_edge_list(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list(path)
+
+
+class TestKonectRoundTrip:
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        # Regression: read_konect ignored the `% m n_left n_right` meta line
+        # write_konect emits, so trailing isolated vertices vanished.
+        graph = BipartiteGraph(6, 5, edges=[(0, 0), (1, 1)])
+        path = tmp_path / "out.test"
+        write_konect(graph, path)
+        loaded = read_konect(path)
+        assert (loaded.n_left, loaded.n_right) == (6, 5)
+        assert loaded == graph
+
+    def test_round_trip_random_graphs(self, tmp_path):
+        for index, graph in enumerate(_random_graphs_with_isolated_vertices(8, seed=9)):
+            path = tmp_path / f"out.graph{index}"
+            write_konect(graph, path)
+            loaded = read_konect(path)
+            assert loaded == graph, f"g{index}"
+
+    def test_file_without_meta_line_infers_sizes(self, tmp_path):
+        path = tmp_path / "out.nometa"
+        path.write_text("% bip\n1 1\n2 2\n")
+        graph = read_konect(path)
+        assert (graph.n_left, graph.n_right, graph.num_edges) == (2, 2, 2)
+
+    def test_duplicate_rows_and_extra_columns_are_tolerated(self, tmp_path):
+        # KONECT rows may carry weight/timestamp columns and repeated
+        # ratings; both must collapse to one unweighted edge.
+        path = tmp_path / "out.dup"
+        path.write_text("% bip unweighted test\n% 3 2 2\n1 1 5 100\n1 1 3 200\n2 2 1 300\n")
+        graph = read_konect(path)
+        assert graph.num_edges == 2
+        assert (graph.n_left, graph.n_right) == (2, 2)
+
+    def test_numeric_comment_beyond_the_header_lines_is_not_a_size_line(self, tmp_path):
+        # Only the first two physical lines may carry the KONECT size meta;
+        # a numeric comment later (dates, statistics) must not inflate the
+        # sides.
+        path = tmp_path / "out.latecomment"
+        path.write_text("% bip unweighted test\n1 1\n% 7 2020 12\n2 2\n")
+        graph = read_konect(path)
+        assert (graph.n_left, graph.n_right, graph.num_edges) == (2, 2, 2)
+
+    def test_sloppy_meta_smaller_than_ids_grows_sides(self, tmp_path):
+        path = tmp_path / "out.sloppy"
+        path.write_text("% 1 1 1\n3 4\n")
+        graph = read_konect(path)
+        assert (graph.n_left, graph.n_right) == (3, 4)
+
+    def test_crlf_and_bom(self, tmp_path):
+        path = tmp_path / "out.crlf"
+        path.write_bytes("﻿% bip\r\n% 2 3 3\r\n1 1\r\n\r\n2 2\r\n".encode("utf-8"))
+        graph = read_konect(path)
+        assert (graph.n_left, graph.n_right, graph.num_edges) == (3, 3, 2)
+
+    def test_zero_based_ids_rejected(self, tmp_path):
+        path = tmp_path / "out.zero"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="1-based"):
+            read_konect(path)
+
+
+class TestGeneratorValidation:
+    def test_erdos_renyi_rejects_negative_num_edges(self):
+        with pytest.raises(ValueError, match="num_edges"):
+            erdos_renyi_bipartite(4, 4, num_edges=-1)
+
+    def test_erdos_renyi_rejects_negative_density(self):
+        with pytest.raises(ValueError, match="edge_density"):
+            erdos_renyi_bipartite(4, 4, edge_density=-0.5)
+
+    def test_erdos_renyi_rejects_impossible_density(self):
+        # density 2.0 on a 2x2 graph asks for 8 edges; only 4 pairs exist.
+        with pytest.raises(ValueError, match="cannot place"):
+            erdos_renyi_bipartite(2, 2, edge_density=2.0)
+
+    def test_power_law_rejects_negative_and_over_capacity(self):
+        with pytest.raises(ValueError, match="num_edges"):
+            power_law_bipartite(3, 3, num_edges=-2)
+        with pytest.raises(ValueError, match="cannot place"):
+            power_law_bipartite(3, 3, num_edges=10)
+
+    def test_power_law_empty_side_with_edges_rejected(self):
+        # Used to spin forever in the uniform top-up loop (randrange(0)).
+        with pytest.raises(ValueError, match="cannot place"):
+            power_law_bipartite(0, 5, num_edges=1)
+
+    def test_planted_rejects_bad_background_edges(self):
+        with pytest.raises(ValueError, match="background_edges"):
+            planted_biplex_graph_with_blocks(4, 4, 2, 2, 1, background_edges=-1)
+        with pytest.raises(ValueError, match="cannot place"):
+            planted_biplex_graph_with_blocks(4, 4, 2, 2, 1, background_edges=17)
+
+    def test_review_graph_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="n_real_reviews"):
+            review_graph_with_camouflage(3, 3, -1, 1, 1, 1, 1)
+        with pytest.raises(ValueError, match="n_camouflage_reviews"):
+            review_graph_with_camouflage(3, 3, 1, 1, 1, 1, -4)
+
+    def test_review_graph_rejects_over_capacity_counts(self):
+        # 2x2 real block has 4 pairs; 100 real reviews cannot fit.
+        with pytest.raises(ValueError, match="n_real_reviews"):
+            review_graph_with_camouflage(2, 2, 100, 1, 1, 1, 1)
+        with pytest.raises(ValueError, match="n_fake_reviews"):
+            review_graph_with_camouflage(3, 3, 1, 2, 2, 50, 1)
+        with pytest.raises(ValueError, match="n_camouflage_reviews"):
+            review_graph_with_camouflage(3, 3, 1, 2, 2, 1, 50)
+
+
+class TestSeedDeterminism:
+    """Golden edge sets: the same seed must generate the same graph on
+    every platform and CPython version (pinned here, verified on CI's
+    OS/version matrix)."""
+
+    def test_erdos_renyi_sparse_regime_golden(self):
+        graph = erdos_renyi_bipartite(5, 4, num_edges=7, seed=42)
+        assert sorted(graph.edges()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 1), (4, 1), (4, 3),
+        ]
+
+    def test_erdos_renyi_dense_regime_golden(self):
+        # 7 > 9 // 2 edges: exercises the shuffled-complement code path.
+        graph = erdos_renyi_bipartite(3, 3, num_edges=7, seed=7)
+        assert sorted(graph.edges()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2),
+        ]
+
+    def test_power_law_golden(self):
+        graph = power_law_bipartite(5, 5, num_edges=8, seed=11)
+        assert sorted(graph.edges()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (3, 1), (4, 3), (4, 4),
+        ]
+
+    def test_same_seed_same_graph_repeatedly(self):
+        first = erdos_renyi_bipartite(9, 7, edge_density=1.5, seed=123)
+        second = erdos_renyi_bipartite(9, 7, edge_density=1.5, seed=123)
+        assert first == second
+        third = erdos_renyi_bipartite(9, 7, edge_density=1.5, seed=124)
+        assert first != third

@@ -81,6 +81,66 @@ class TestAgainstPostFiltering:
         assert filtered == [s for s in everything if len(s.left) >= 1 and len(s.right) >= 1]
 
 
+class TestTruncationPropagation:
+    """A capped run must never be reported as complete (PR 5 bugfix).
+
+    The engine raises the result-limit flag *before* yielding the capped
+    solution, so even a consumer that stops iterating the moment it has its
+    ``max_results`` solutions (break / islice — the natural way to respect
+    a cap) observes ``stats.truncated``; previously the flag was only set
+    when the abandoned generator was resumed, which never happens.
+    """
+
+    def test_max_results_one_marks_truncated(self, example_graph):
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=1, max_results=1)
+        solutions = enumerator.enumerate()
+        assert len(solutions) == 1
+        assert enumerator.stats.hit_result_limit
+        assert enumerator.stats.truncated
+        assert enumerator.truncated
+
+    def test_consumer_break_at_cap_marks_truncated(self, example_graph):
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=1, max_results=1)
+        for _ in enumerator.run():
+            break  # the generator is never resumed past the capped yield
+        assert enumerator.stats.hit_result_limit
+        assert enumerator.truncated
+
+    def test_islice_consumption_marks_truncated(self, example_graph):
+        from itertools import islice
+
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=1, max_results=2)
+        taken = list(islice(enumerator.run(), 2))
+        assert len(taken) == 2
+        assert enumerator.truncated
+
+    def test_tiny_time_limit_marks_truncated(self, example_graph):
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=1, time_limit=1e-9)
+        solutions = enumerator.enumerate()
+        assert solutions == []
+        assert enumerator.stats.hit_time_limit
+        assert enumerator.truncated
+
+    def test_uncapped_run_is_not_marked(self, example_graph):
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=2)
+        enumerator.enumerate()
+        assert not enumerator.truncated
+
+    def test_filtered_capped_solutions_keep_their_status(self, example_graph):
+        # filter_large itself is status-free; the run's stats are the source
+        # of truth for completeness of the filtered list.
+        enumerator = LargeMBPEnumerator(example_graph, 1, theta=1, max_results=1)
+        filtered = filter_large(enumerator.enumerate(), 2, 2)
+        assert len(filtered) <= 1
+        assert enumerator.truncated
+
+    def test_itraversal_break_at_cap_marks_truncated(self, example_graph):
+        # The fix lives in the engine, so the plain traversals gain it too.
+        algorithm = ITraversal(example_graph, 1, max_results=1)
+        next(algorithm.run())
+        assert algorithm.stats.hit_result_limit
+
+
 class TestPruningDoesNotOverPrune:
     @pytest.mark.parametrize("seed", range(4))
     def test_theta_larger_than_any_solution(self, seed):
