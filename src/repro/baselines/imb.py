@@ -61,6 +61,19 @@ class IMB:
         :func:`repro.graph.protocol.default_backend`; ``"packed"`` and
         ``"set"`` are the alternatives); all backends enumerate identical
         solution sets.
+    prep:
+        Preprocessing pipeline (:mod:`repro.prep`), sharing the traversal
+        engines' semantics: ``None`` resolves via ``REPRO_PREP`` (default
+        ``"core"`` — the threshold-driven core/bitruss reduction, a no-op
+        without thresholds), ``"core+order"`` additionally explores the
+        include/exclude universe in degeneracy order, ``"off"`` searches
+        the raw graph in canonical order exactly as before.  Results are
+        always reported in the original graph's vertex ids.  The
+        reduction is sound here for the same reason as for the
+        traversals: any vertex addable to a θ-large solution lies inside
+        some θ-large *maximal* biplex, which survives the reduction
+        entirely — so reduced-graph maximality implies original-graph
+        maximality for every reported solution.
     """
 
     def __init__(
@@ -72,10 +85,19 @@ class IMB:
         max_results: Optional[int] = None,
         time_limit: Optional[float] = None,
         backend: Optional[str] = None,
+        prep: Optional[str] = None,
     ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
-        self.graph = as_backend(graph, default_backend() if backend is None else backend)
+        from ..prep import prepare
+
+        converted = as_backend(graph, default_backend() if backend is None else backend)
+        # The reduction bounds hold for k = 0 (bicliques) too: every vertex
+        # of a θ-large biclique is adjacent to *all* of the other side.
+        self._prep_plan = prepare(
+            converted, k, prep, theta_left=theta_left, theta_right=theta_right
+        )
+        self.graph = self._prep_plan.graph
         self.k = k
         # Masked fast path: per-vertex non-neighbour masks over the other side.
         if supports_masks(self.graph):
@@ -106,10 +128,20 @@ class IMB:
         self.truncated = False
         self._start = time.perf_counter()
         # The combined vertex universe: ("L", id) and ("R", id) pairs.  Left
-        # vertices first, in ascending id order, then right vertices — the
-        # order only affects traversal order, not the output set.
-        universe: List[Tuple[str, int]] = [("L", v) for v in self.graph.left_vertices()]
-        universe.extend(("R", u) for u in self.graph.right_vertices())
+        # vertices first, then right — ascending ids, or the prep plan's
+        # candidate ordering when one is set; the order only affects
+        # traversal order, not the output set.
+        plan = self._prep_plan
+        left_order = (
+            plan.left_order if plan.left_order is not None else self.graph.left_vertices()
+        )
+        right_order = (
+            plan.right_order
+            if plan.right_order is not None
+            else self.graph.right_vertices()
+        )
+        universe: List[Tuple[str, int]] = [("L", v) for v in left_order]
+        universe.extend(("R", u) for u in right_order)
         if not universe:
             return []
         try:
@@ -296,7 +328,7 @@ class IMB:
             right_misses[vertex] = own_misses
 
     def _emit(self, solution: Biplex) -> None:
-        self.results.append(solution)
+        self.results.append(self._prep_plan.translate(solution))
         if self.max_results is not None and len(self.results) >= self.max_results:
             raise _SearchLimit
 
@@ -313,6 +345,7 @@ def enumerate_mbps_imb(
     max_results: Optional[int] = None,
     time_limit: Optional[float] = None,
     backend: Optional[str] = None,
+    prep: Optional[str] = None,
 ) -> List[Biplex]:
     """Functional wrapper around :class:`IMB`."""
     return IMB(
@@ -323,4 +356,5 @@ def enumerate_mbps_imb(
         max_results=max_results,
         time_limit=time_limit,
         backend=backend,
+        prep=prep,
     ).enumerate()

@@ -18,7 +18,13 @@ overrides the default globally.  ``--jobs N`` (or ``REPRO_JOBS=N``) runs
 the enumeration on the sharded parallel engine (:mod:`repro.parallel`)
 with ``N`` worker processes — the same solution set for uncapped runs
 (a ``--max-results`` cap keeps the first N unique arrivals, which may
-differ from serial's first N), one merged stats line.
+differ from serial's first N), one merged stats line.  ``--prep
+{off,core,core+order}`` (or ``REPRO_PREP``) selects the preprocessing
+pipeline (:mod:`repro.prep`): ``core`` (default) shrinks the graph with
+the threshold-driven core/bitruss reduction before enumerating — a no-op
+without ``--theta`` — and ``core+order`` additionally anchors the
+traversal in degeneracy order; the summary line reports how many
+vertices/edges the reduction removed.
 
 Run ``repro-mbp <subcommand> --help`` for the full option list.
 """
@@ -38,6 +44,7 @@ from .graph.io import read_edge_list
 from .graph.packed import PackedBackendUnavailable
 from .graph.protocol import BACKENDS, default_backend
 from .parallel import resolve_jobs
+from .prep import resolve_prep
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,6 +96,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     enumerate_parser.add_argument(
+        "--prep",
+        default=None,
+        help=(
+            "preprocessing pipeline: 'core' (threshold-driven core/bitruss "
+            "graph reduction, the default — a no-op without --theta), "
+            "'core+order' (reduction plus degeneracy anchor ordering) or "
+            "'off' (raw graph, canonical order).  All modes enumerate "
+            "identical solution sets, reported in the input graph's vertex "
+            "ids; the REPRO_PREP environment variable overrides the default"
+        ),
+    )
+    enumerate_parser.add_argument(
         "--quiet", action="store_true", help="print only the summary, not the biplexes"
     )
 
@@ -104,9 +123,13 @@ def _build_parser() -> argparse.ArgumentParser:
 def _command_enumerate(args: argparse.Namespace) -> int:
     # Resolved here (not at parser-build time) so an invalid REPRO_BACKEND
     # only affects the subcommand that uses it, with a clean error message.
+    # `--prep` deliberately has no argparse `choices`: resolving it here
+    # funnels both the flag and the REPRO_PREP environment variable through
+    # the same validation and error message.
     try:
         backend = args.backend if args.backend is not None else default_backend()
         jobs = resolve_jobs(args.jobs)
+        prep = resolve_prep(args.prep)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -125,6 +148,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             time_limit=args.time_limit,
             backend=backend,
             jobs=jobs,
+            prep=prep,
         )
     except PackedBackendUnavailable as error:
         # Defensive: conversions auto-select the array('Q') fallback when
@@ -141,10 +165,15 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             print(f"L: [{left}]  R: [{right}]")
     summary = summarize_solutions(solutions)
     stats = algorithm.stats
+    plan = algorithm.prep
     print(
         f"# solutions={summary['count']} max_left={summary['max_left']} "
         f"max_right={summary['max_right']} links={stats.num_links} "
         f"elapsed={stats.elapsed_seconds:.3f}s truncated={stats.truncated}"
+    )
+    print(
+        f"# prep={plan.mode} removed_left={plan.removed_left} "
+        f"removed_right={plan.removed_right} removed_edges={plan.removed_edges}"
     )
     return 0
 

@@ -26,6 +26,7 @@ def btraversal_config(
     local_enumeration: str = "refined",
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
+    prep: Optional[str] = None,
 ) -> TraversalConfig:
     """The :class:`TraversalConfig` corresponding to bTraversal.
 
@@ -41,13 +42,18 @@ def btraversal_config(
     the exclusion strategy bTraversal's parallel shards overlap heavily —
     the run stays correct (the coordinator deduplicates) but the
     duplicated traversal work limits the speedup (see
-    :mod:`repro.parallel`).
+    :mod:`repro.parallel`).  ``prep=None`` resolves via ``REPRO_PREP``
+    (default ``"core"``, a no-op here since bTraversal runs without size
+    thresholds — only ``"core+order"`` changes its traversal order);
+    ``"off"`` pins raw canonical order.
     """
     from ..graph.protocol import default_backend
+    from ..prep import resolve_prep
 
     if backend is None:
         backend = default_backend()
     return TraversalConfig(
+        prep=resolve_prep(prep),
         left_anchored=False,
         right_shrinking=False,
         exclusion=False,
@@ -85,6 +91,7 @@ class BTraversal:
         local_enumeration: str = "refined",
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
+        prep: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -99,6 +106,7 @@ class BTraversal:
                 local_enumeration=local_enumeration,
                 backend=backend,
                 jobs=jobs,
+                prep=prep,
             ),
         )
 
@@ -114,6 +122,11 @@ class BTraversal:
     def stats(self) -> TraversalStats:
         """Counters of the last run."""
         return self._engine.stats
+
+    @property
+    def prep(self):
+        """The :class:`~repro.prep.PrepPlan` the engine runs on."""
+        return self._engine.prep_plan
 
 
 def enumerate_mbps_btraversal(

@@ -31,6 +31,7 @@ def itraversal_config(
     output_order: str = "pre",
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
+    prep: Optional[str] = None,
 ) -> TraversalConfig:
     """Build the :class:`TraversalConfig` of iTraversal or one of its ablations.
 
@@ -39,12 +40,16 @@ def itraversal_config(
     overridden via the ``REPRO_BACKEND`` environment variable.  ``jobs``
     follows the same pattern for the sharded parallel engine: ``None``
     resolves via ``REPRO_JOBS`` (default 1 = serial), ``0`` means one
-    worker per CPU core.
+    worker per CPU core.  ``prep=None`` resolves via ``REPRO_PREP``
+    (default ``"core"``, see :mod:`repro.prep`); ``"off"`` restores
+    raw-graph canonical-order traversal exactly.
     """
     from ..graph.protocol import default_backend
+    from ..prep import resolve_prep
 
     if backend is None:
         backend = default_backend()
+    prep = resolve_prep(prep)
     return TraversalConfig(
         left_anchored=True,
         right_shrinking=right_shrinking,
@@ -58,6 +63,7 @@ def itraversal_config(
         output_order=output_order,
         backend=backend,
         jobs=jobs,
+        prep=prep,
     )
 
 
@@ -92,6 +98,15 @@ class ITraversal:
         uncapped enumerations (a ``max_results``/``time_limit`` cap keeps
         the first unique solutions to arrive, which may differ from
         serial's first N).
+    prep:
+        Preprocessing pipeline (:mod:`repro.prep`): ``None`` resolves via
+        ``REPRO_PREP`` (default ``"core"`` — threshold-driven core/bitruss
+        reduction, a no-op without size thresholds), ``"core+order"`` adds
+        degeneracy candidate ordering, ``"off"`` restores raw-graph
+        canonical-order traversal exactly.  Solutions are always reported
+        in the original graph's vertex ids; the :attr:`prep` property
+        exposes the plan (reduction sizes, orderings) of the last
+        construction.
 
     Examples
     --------
@@ -122,6 +137,7 @@ class ITraversal:
         output_order: str = "pre",
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
+        prep: Optional[str] = None,
     ) -> None:
         if variant not in self.VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {sorted(self.VARIANTS)}")
@@ -148,13 +164,14 @@ class ITraversal:
             output_order=output_order,
             backend=backend,
             jobs=jobs,
+            prep=prep,
         )
         self._engine = ReverseSearchEngine(working_graph, k, config)
 
     # ------------------------------------------------------------------ #
     def initial_solution(self) -> Biplex:
         """The designated initial solution in the *original* graph's coordinates."""
-        solution = self._engine._initial_solution()
+        solution = self._engine.prep_plan.translate(self._engine._initial_solution())
         return self._restore(solution)
 
     def run(self) -> Iterator[Biplex]:
@@ -176,6 +193,16 @@ class ITraversal:
         """The underlying engine configuration (read-only by convention)."""
         return self._engine.config
 
+    @property
+    def prep(self):
+        """The :class:`~repro.prep.PrepPlan` the engine runs on.
+
+        Mind that for ``anchor="right"`` the plan lives in the mirrored
+        graph's coordinate space (its ``removed_left`` counts mirrored-left
+        = original-right vertices, and vice versa).
+        """
+        return self._engine.prep_plan
+
     def _restore(self, solution: Biplex) -> Biplex:
         if not self._mirrored:
             return solution
@@ -190,6 +217,7 @@ def enumerate_mbps(
     time_limit: Optional[float] = None,
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
+    prep: Optional[str] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate maximal k-biplexes with iTraversal; the main library entry point.
 
@@ -203,6 +231,7 @@ def enumerate_mbps(
         time_limit=time_limit,
         backend=backend,
         jobs=jobs,
+        prep=prep,
     )
     solutions = algorithm.enumerate()
     return solutions, algorithm.stats
@@ -217,13 +246,15 @@ def enumerate_large_mbps(
     time_limit: Optional[float] = None,
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
+    prep: Optional[str] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate MBPs whose two sides both have at least ``theta`` vertices.
 
-    This is the Section 5 extension: the traversal prunes small solutions on
-    the fly instead of filtering after a full enumeration, and (optionally)
-    the input graph is first shrunk to its ``(θ − k, θ − k)``-core, which
-    every large MBP must lie in.
+    This is the Section 5 extension: the traversal prunes small solutions
+    on the fly instead of filtering after a full enumeration, and (unless
+    ``use_core_preprocessing=False`` / ``prep="off"``) the input graph is
+    first shrunk by the threshold-driven core/bitruss reduction of
+    :mod:`repro.prep`, which every large MBP provably survives.
     """
     from .large import LargeMBPEnumerator
 
@@ -236,6 +267,7 @@ def enumerate_large_mbps(
         time_limit=time_limit,
         backend=backend,
         jobs=jobs,
+        prep=prep,
     )
     solutions = enumerator.enumerate()
     return solutions, enumerator.stats

@@ -11,9 +11,16 @@ enumerating all MBPs first, thanks to the right-shrinking traversal:
 * *left-side pruning* — do not recurse when ``|L| − |ℰ(H)| < θ``.
 
 All four rules live inside the traversal engine
-(:mod:`repro.core.traversal`); this module adds the ``(θ − k, θ − k)``-core
-preprocessing used in the paper's Figure 10 experiment and translates the
-core's compacted vertex ids back to the original graph.
+(:mod:`repro.core.traversal`).  The graph-shrinking preprocessing of the
+paper's Figure 10 experiment now lives in :mod:`repro.prep` and is applied
+by the engine itself (including the id translation back to the original
+graph), so this class is a thin thresholds-plus-prep front end.  The prep
+reduction is *stronger* than the historical ``(θ − k, θ − k)``-core here:
+it uses the asymmetric ``(θ_R − k, θ_L − k)`` bounds — sound when
+``theta_left != theta_right``, where a symmetric ``min(θ) − k`` bound
+under-peels one side and the historical implementation over-constrained
+the unthresholded side — and adds bitruss edge peeling when the
+thresholds support it.
 """
 
 from __future__ import annotations
@@ -21,7 +28,6 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from ..graph.bipartite import BipartiteGraph
-from ..graph.cores import theta_core_for_large_mbps
 from .biplex import Biplex
 from .enum_almost_sat import DEFAULT_CONFIG, EnumAlmostSatConfig
 from .itraversal import ITraversal
@@ -41,13 +47,20 @@ class LargeMBPEnumerator:
         Size threshold applied to both sides.  Use ``theta_left`` /
         ``theta_right`` for asymmetric thresholds.
     use_core_preprocessing:
-        Shrink the graph to its ``(θ − k, θ − k)``-core before enumerating
-        (always safe; usually much faster).
+        Shrink the graph with the threshold-driven core/bitruss reduction
+        before enumerating (always safe; usually much faster).  ``False``
+        forces ``prep="off"`` regardless of the ``prep`` argument and the
+        ``REPRO_PREP`` environment variable.
+    prep:
+        Preprocessing mode passed to the engine (:mod:`repro.prep`);
+        ``None`` resolves via ``REPRO_PREP`` (default ``"core"``).
+        ``"core+order"`` adds degeneracy candidate ordering on top of the
+        reduction.
     backend:
         Adjacency substrate (``"set"``, ``"bitset"`` or ``"packed"``);
         ``None`` resolves to :func:`repro.graph.protocol.default_backend`
-        (``bitset`` by default).  The conversion happens *before* the core
-        preprocessing, so the peeling also runs on the word-parallel masked
+        (``bitset`` by default).  The conversion happens *before* the
+        reduction, so the peeling also runs on the word-parallel masked
         path — fully vectorized on the ``packed`` backend.
     jobs:
         Worker processes for the sharded parallel engine
@@ -71,33 +84,17 @@ class LargeMBPEnumerator:
         time_limit: Optional[float] = None,
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
+        prep: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.k = k
         self.theta_left = theta if theta_left is None else theta_left
         self.theta_right = theta if theta_right is None else theta_right
         self.use_core_preprocessing = use_core_preprocessing
-
-        from ..graph.protocol import as_backend, default_backend
-
-        backend = default_backend() if backend is None else backend
-        converted = as_backend(graph, backend)
-        if use_core_preprocessing and (self.theta_left or self.theta_right):
-            core_bound = min(
-                value for value in (self.theta_left, self.theta_right) if value
-            )
-            working, left_map, right_map = theta_core_for_large_mbps(converted, k, core_bound)
-        else:
-            working, left_map, right_map = (
-                converted,
-                list(converted.left_vertices()),
-                list(converted.right_vertices()),
-            )
-        self._working = working
-        self._left_map = left_map
-        self._right_map = right_map
+        if not use_core_preprocessing:
+            prep = "off"
         self._algorithm = ITraversal(
-            working,
+            graph,
             k,
             variant="full",
             enum_config=enum_config,
@@ -107,12 +104,18 @@ class LargeMBPEnumerator:
             time_limit=time_limit,
             backend=backend,
             jobs=jobs,
+            prep=prep,
         )
 
     @property
     def core_graph(self) -> BipartiteGraph:
         """The (possibly shrunk) graph the enumeration actually runs on."""
-        return self._working
+        return self._algorithm._engine.graph
+
+    @property
+    def prep(self):
+        """The :class:`~repro.prep.PrepPlan` the enumeration runs on."""
+        return self._algorithm.prep
 
     @property
     def stats(self) -> TraversalStats:
@@ -134,22 +137,17 @@ class LargeMBPEnumerator:
     def run(self) -> Iterator[Biplex]:
         """Lazily yield large MBPs in the original graph's vertex ids.
 
-        The ``_translate`` wrapper is transparent to the engine's
-        truncation accounting: ``stats.hit_result_limit`` /
-        ``stats.hit_time_limit`` are already set by the time the affected
-        solution (or the end of the stream) reaches the caller.
+        The engine translates reduced ids back to the input graph's
+        transparently to the truncation accounting:
+        ``stats.hit_result_limit`` / ``stats.hit_time_limit`` are already
+        set by the time the affected solution (or the end of the stream)
+        reaches the caller.
         """
-        for solution in self._algorithm.run():
-            yield self._translate(solution)
+        return self._algorithm.run()
 
     def enumerate(self) -> List[Biplex]:
         """Enumerate all large MBPs (check :attr:`truncated` for completeness)."""
         return list(self.run())
-
-    def _translate(self, solution: Biplex) -> Biplex:
-        left = frozenset(self._left_map[v] for v in solution.left)
-        right = frozenset(self._right_map[u] for u in solution.right)
-        return Biplex(left=left, right=right)
 
 
 def filter_large(solutions: List[Biplex], theta_left: int, theta_right: int) -> List[Biplex]:

@@ -49,6 +49,27 @@ backend     representation        requires                 batch coverage
 All backends produce identical solution sets; the equivalence suite and the
 cross-backend differential harness (``tests/test_backend_differential.py``)
 pin that property.
+
+Orthogonal to the backend axis sits the *preprocessing* axis
+(:mod:`repro.prep`, selected via ``prep=`` / ``REPRO_PREP``): the engines
+first convert the input to the chosen substrate, then hand it to
+``prepare()``, which may peel it down to the threshold-driven
+(α,β)-core / k-bitruss fixpoint and compute a degeneracy candidate
+ordering.  Reductions preserve the substrate class (``copy()`` /
+``induced_subgraph_with_mapping`` return ``type(self)``), so the peeled
+graph keeps its mask/batch capabilities, and solutions are translated back
+to the input graph's vertex ids at the engine boundary.  The two axes
+compose freely — every ``backend × prep`` cell enumerates the same
+solution set:
+
+==============  =====================================================
+prep mode       effect on the (converted) graph
+==============  =====================================================
+``off``         none — raw graph, canonical candidate order
+``core``        (α,β)-core + bitruss peel to a fixpoint (default; an
+                identity without size thresholds)
+``core+order``  the reduction plus degeneracy anchor/candidate order
+==============  =====================================================
 """
 
 from __future__ import annotations

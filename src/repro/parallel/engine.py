@@ -53,6 +53,7 @@ def _merge_worker_stats(merged: TraversalStats, data: dict) -> None:
     merged.num_links += data["num_links"]
     merged.num_almost_sat_graphs += data["num_almost_sat_graphs"]
     merged.num_local_solutions += data["num_local_solutions"]
+    merged.num_reexplorations += data["num_reexplorations"]
     merged.hit_result_limit |= data["hit_result_limit"]
     merged.hit_time_limit |= data["hit_time_limit"]
 

@@ -41,12 +41,18 @@ class Shard:
 def shard_plan(engine, root: Biplex) -> List[Shard]:
     """The shards of ``engine``'s traversal forest below ``root``.
 
-    Mirrors the serial root expansion exactly: same anchor order (left
-    side ascending, then — without left-anchoring — right side ascending),
-    same early-out prunings with the root's empty exclusion set, and the
-    same exclusion-prefix accumulation (*every* earlier left anchor joins
-    the prefix, whether or not its almost-satisfying graph survived the
-    Γ-pruning — serial appends pruned candidates to ``processed`` too).
+    Mirrors the serial root expansion exactly: same anchor order (the
+    engine's ``_candidate_vertices`` — the prep plan's candidate ordering
+    when one is set, otherwise left side ascending then, without
+    left-anchoring, right side ascending), same early-out prunings with
+    the root's empty exclusion set, and the same exclusion-prefix
+    accumulation (*every* earlier left anchor joins the prefix, whether or
+    not its almost-satisfying graph survived the Γ-pruning — serial
+    appends pruned candidates to ``processed`` too).  Because the plan is
+    built on the engine's (possibly prep-reduced) graph, shards cover the
+    reduced vertex space and an ordering-aware prep also evens out the
+    root selection: low-degeneracy anchors lead, dense hubs arrive last
+    with the largest exclusion prefixes.
     """
     config = engine.config
     # Section 5 solution pruning at the root (serial `_children` early outs,

@@ -56,6 +56,7 @@ def _accumulate(totals: TraversalStats, shard_stats: TraversalStats) -> None:
     totals.num_links += shard_stats.num_links
     totals.num_almost_sat_graphs += shard_stats.num_almost_sat_graphs
     totals.num_local_solutions += shard_stats.num_local_solutions
+    totals.num_reexplorations += shard_stats.num_reexplorations
     totals.elapsed_seconds += shard_stats.elapsed_seconds
     totals.hit_result_limit |= shard_stats.hit_result_limit
     totals.hit_time_limit |= shard_stats.hit_time_limit
@@ -87,8 +88,12 @@ def worker_main(
         engine._cancel = _ThrottledCancel(cancel_event)
         # Inherited exclusion prefixes keep the shards nearly disjoint; the
         # engine's visited-map re-exploration rule repairs the over-pruning
-        # they cause (see ReverseSearchEngine.__init__).
-        engine._inherit_exclusions = True
+        # they cause (see ReverseSearchEngine.__init__).  Requested — not
+        # set directly — because run_shard re-arms the live flag per shard:
+        # on left-heavy sparse inputs the engine's cascade fallback may
+        # drop to per-expansion exclusion partway through a shard, and that
+        # decision must not leak into the next shard's traversal.
+        engine._inherit_exclusions_requested = True
         while True:
             index = task_queue.get()
             if index is None:

@@ -1,0 +1,147 @@
+"""Threshold-driven graph reduction: (α, β)-core and bitruss peeling.
+
+Both reductions are *safe by construction* for thresholded enumeration —
+they only remove vertices/edges that provably cannot participate in any
+maximal k-biplex meeting the ``(θ_L, θ_R)`` size thresholds:
+
+* **(α, β)-core** — a left vertex ``v`` of a k-biplex ``H`` with
+  ``|R_H| ≥ θ_R`` misses at most ``k`` of ``R_H``, so
+  ``deg_G(v) ≥ deg_H(v) ≥ θ_R − k``; symmetrically
+  ``deg_G(u) ≥ θ_L − k`` for right vertices.  Every qualifying biplex
+  therefore survives the ``(θ_R − k, θ_L − k)``-core (note the swap:
+  ``α`` constrains *left* degrees against the *right* threshold).  The
+  bound is asymmetric on purpose — the previous large-MBP preprocessing
+  applied ``min(θ_L, θ_R) − k`` to *both* sides, which over-peels the
+  unconstrained side when the thresholds differ (e.g. ``θ_L = 0``).
+
+* **t-bitruss** — every edge ``(v, u)`` of a qualifying biplex ``H`` is
+  contained in at least ``t`` butterflies *within* ``H``: ``u`` has
+  ``a ≥ θ_L − k − 1`` other neighbours in ``L_H`` and ``v`` has
+  ``b ≥ θ_R − k − 1`` other neighbours in ``R_H``; of the ``a · b``
+  candidate wedge pairs at most ``a · k`` lack the closing edge (each
+  candidate left vertex misses at most ``k`` of ``R_H``), giving
+  ``support ≥ a · (b − k)`` — and the mirrored bound ``b · (a − k)``.
+  Since the edge-support property is closed under union, the maximal
+  subgraph with it (the t-bitruss) contains every qualifying biplex with
+  all of its edges.  Peeling edges preserves the *solution set* exactly:
+  removing edges only increases miss counts, so any extension possible in
+  the peeled graph is possible in ``G``; conversely a qualifying solution
+  maximal in ``G`` stays maximal in the peeled graph because any blocking
+  extension would itself sit inside a (surviving) qualifying biplex.
+
+The reduction returns a compacted graph of the *same substrate class* as
+its input (``induced_subgraph_with_mapping`` preserves the backend) plus
+``new id → original id`` maps for both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..graph.cores import alpha_beta_core_subgraph
+
+
+def threshold_core_bounds(k: int, theta_left: int, theta_right: int) -> Tuple[int, int]:
+    """The ``(α, β)`` degree bounds implied by the size thresholds.
+
+    ``α`` (left-vertex degrees) derives from the *right* threshold and vice
+    versa; a threshold of 0 imposes no bound on the opposite side.
+    """
+    return max(theta_right - k, 0), max(theta_left - k, 0)
+
+
+def bitruss_support_bound(k: int, theta_left: int, theta_right: int) -> int:
+    """Minimum butterfly support of any edge of a ``(θ_L, θ_R)``-large k-biplex.
+
+    ``max(a(b − k), b(a − k))`` with ``a = θ_L − k − 1`` and
+    ``b = θ_R − k − 1`` (see the module docstring); 0 when the thresholds
+    are too small to guarantee anything, in which case bitruss peeling is
+    skipped.
+    """
+    if theta_left <= 0 or theta_right <= 0:
+        return 0
+    a = theta_left - k - 1
+    b = theta_right - k - 1
+    bound = 0
+    if a > 0 and b - k > 0:
+        bound = a * (b - k)
+    if b > 0 and a - k > 0:
+        bound = max(bound, b * (a - k))
+    return bound
+
+
+@dataclass
+class Reduction:
+    """Result of :func:`reduce_for_thresholds`.
+
+    ``left_map`` / ``right_map`` are ``new id → original id`` lists; both
+    are ``None`` when the reduction removed nothing (``graph`` is then the
+    input object itself, not a copy).
+    """
+
+    graph: object
+    left_map: Optional[List[int]]
+    right_map: Optional[List[int]]
+    removed_left: int = 0
+    removed_right: int = 0
+    removed_edges: int = 0
+
+    @property
+    def is_identity(self) -> bool:
+        return self.left_map is None and self.right_map is None
+
+
+def reduce_for_thresholds(
+    graph, k: int, theta_left: int = 0, theta_right: int = 0
+) -> Reduction:
+    """Shrink ``graph`` to the part that can hold ``(θ_L, θ_R)``-large k-biplexes.
+
+    Pipeline: (α, β)-core peel → compact, then alternate bitruss peels
+    (when the support bound is positive) with further core peels *until
+    the graph stops shrinking*.  Each stage only ever removes
+    vertices/edges, so composing them is safe; the returned maps compose
+    the compactions.  The fixpoint matters beyond reduction strength:
+    parallel workers re-run the preparation on the already-reduced graph
+    they receive, and only a fixpoint guarantees they reproduce it (and
+    its vertex id space) exactly.  With both thresholds at 0 (plain
+    enumeration) the reduction is the identity.
+    """
+    alpha, beta = threshold_core_bounds(k, theta_left, theta_right)
+    support = bitruss_support_bound(k, theta_left, theta_right)
+    if alpha == 0 and beta == 0 and support < 1:
+        return Reduction(graph, None, None)
+    original_edges = graph.num_edges
+    reduced, left_map, right_map = alpha_beta_core_subgraph(graph, alpha, beta)
+    if support >= 1:
+        from ..graph.butterfly import k_bitruss
+
+        while reduced.num_edges:
+            trussed = k_bitruss(reduced, support)
+            if trussed.num_edges == reduced.num_edges:
+                break
+            # Edges went away: degrees dropped, so the core bounds can bite
+            # again; re-peel and fold the new compaction into the maps.
+            # (The core peel may in turn drop edge supports below the
+            # bound, hence the loop.)
+            reduced, inner_left, inner_right = alpha_beta_core_subgraph(
+                trussed, alpha, beta
+            )
+            left_map = [left_map[v] for v in inner_left]
+            right_map = [right_map[u] for u in inner_right]
+    if (
+        reduced.n_left == graph.n_left
+        and reduced.n_right == graph.n_right
+        and reduced.num_edges == original_edges
+    ):
+        # Nothing was peeled: hand back the input object so downstream
+        # consumers can skip the remapping entirely.
+        return Reduction(graph, None, None)
+    return Reduction(
+        reduced,
+        left_map,
+        right_map,
+        removed_left=graph.n_left - reduced.n_left,
+        removed_right=graph.n_right - reduced.n_right,
+        removed_edges=original_edges - reduced.num_edges,
+    )

@@ -19,6 +19,11 @@ PR 5 added a ``jobs ∈ {1, 2}`` axis for the engine-backed enumerators
 (iTraversal, bTraversal, the large-MBP enumerator): the sharded parallel
 engine must produce exactly the serial solution set on every backend, and
 its output must still support the solution-graph layer.
+
+PR 6 added the ``prep ∈ {off, core, core+order}`` axis: the preprocessing
+pipeline (:mod:`repro.prep` — core/bitruss graph reduction plus degeneracy
+candidate ordering) must leave the enumerated solution set untouched on
+every backend, serial and parallel, with and without size thresholds.
 """
 
 from __future__ import annotations
@@ -145,6 +150,62 @@ def test_large_mbp_enumerator_matches_filtered_oracle(backend, jobs, k):
             label,
             missing_and_extra(reference, solutions),
         )
+
+
+#: The full preprocessing ablation swept by the prep-axis tests below.
+PREPS = ("off", "core", "core+order")
+
+
+@pytest.mark.parametrize("prep", PREPS)
+@pytest.mark.parametrize("jobs", (1, 2))
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_prep_modes_match_oracle(backend, jobs, prep):
+    """The prep axis: reduction + ordering never change the solution set.
+
+    Unthresholded iTraversal (the reduction is an identity there, but
+    ``core+order`` still permutes the traversal) and the thresholded
+    large-MBP enumerator (where the core/bitruss reduction actually peels
+    vertices and the solutions must be translated back to original ids)
+    are both pinned against the brute-force oracle on every backend,
+    serial and sharded.
+    """
+    k = 1
+    for index, graph in enumerate(GRAPHS):
+        reference = enumerate_mbps_bruteforce(graph, k)
+        label = f"ITraversal[{backend}] jobs={jobs} prep={prep} k={k} g{index}"
+        algorithm = ITraversal(graph, k, backend=backend, jobs=jobs, prep=prep)
+        solutions = algorithm.enumerate()
+        check_all_solutions(graph, solutions, k, label=label)
+        assert same_solutions(reference, solutions), (
+            label,
+            missing_and_extra(reference, solutions),
+        )
+
+        large_reference = filter_large(reference, THETA, THETA)
+        label = f"LargeMBPEnumerator[{backend}] jobs={jobs} prep={prep} k={k} g{index}"
+        large = LargeMBPEnumerator(
+            graph, k, theta=THETA, backend=backend, jobs=jobs, prep=prep
+        ).enumerate()
+        check_all_solutions(graph, large, k, label=label)
+        assert same_solutions(large_reference, large), (
+            label,
+            missing_and_extra(large_reference, large),
+        )
+
+
+@pytest.mark.parametrize("prep", PREPS[1:])
+def test_prep_preserves_serial_output_order_without_thresholds(prep):
+    """Without thresholds ``core`` is an identity — bit-for-bit, order included.
+
+    ``jobs=1`` pinned: the comparison is about the serial DFS order.
+    """
+    for index, graph in enumerate(GRAPHS):
+        baseline = [s.key() for s in ITraversal(graph, 1, prep="off", jobs=1).enumerate()]
+        got = [s.key() for s in ITraversal(graph, 1, prep=prep, jobs=1).enumerate()]
+        if prep == "core":
+            assert got == baseline, f"g{index}: prep=core must be bit-for-bit"
+        else:
+            assert sorted(got) == sorted(baseline), f"g{index}"
 
 
 class TestFailureAttribution:
