@@ -17,6 +17,8 @@ True
 from .core import (
     Biplex,
     BTraversal,
+    CursorError,
+    EnumerationSession,
     ITraversal,
     LargeMBPEnumerator,
     TraversalConfig,
@@ -50,6 +52,8 @@ __all__ = [
     "Side",
     "ITraversal",
     "BTraversal",
+    "CursorError",
+    "EnumerationSession",
     "LargeMBPEnumerator",
     "TraversalConfig",
     "TraversalStats",

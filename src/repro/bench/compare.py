@@ -1,0 +1,158 @@
+"""Diff two ``BENCH_enum.json`` snapshots; fail on regression.
+
+``python -m repro.bench.compare BASELINE NEW`` compares the pinned
+enumeration benchmark snapshots emitted by :mod:`repro.bench.harness`
+(schema ``repro-bench-enum/1``), run for run and prep mode for prep mode:
+
+* a **solution-count mismatch** between matching runs is a correctness
+  alarm — exit code 3, unconditionally (counts are deterministic; timing
+  thresholds do not apply to them);
+* a **timing regression** — new seconds more than ``--threshold`` (default
+  20%) above baseline — exits 1, but only for runs slower than
+  ``--min-seconds`` (default 0.05 s): below that floor the measurement is
+  dominated by interpreter noise and a ratio is meaningless;
+* runs or prep modes present on one side only are reported and skipped
+  (the pinned set grows over time; a baseline from an older commit is
+  still comparable on the intersection).
+
+Exit 0 means no regression.  CI wires this between the freshly emitted
+snapshot and the previous run's cached one, so a >20% slowdown on any
+pinned config fails the build with a per-config report instead of
+silently shipping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Snapshot schema this comparator understands.
+SNAPSHOT_SCHEMA = "repro-bench-enum/1"
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_COUNT_MISMATCH = 3
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(f"{path}: not a {SNAPSHOT_SCHEMA} snapshot")
+    return snapshot
+
+
+def _index(snapshot: dict) -> Dict[Tuple[str, str], dict]:
+    """Flatten a snapshot to ``(config, prep) -> prep entry``."""
+    table: Dict[Tuple[str, str], dict] = {}
+    for run in snapshot.get("runs", []):
+        for prep, entry in run.get("preps", {}).items():
+            table[(run["config"], prep)] = entry
+    return table
+
+
+def compare_snapshots(
+    baseline: dict,
+    new: dict,
+    threshold: float = 0.2,
+    min_seconds: float = 0.05,
+) -> Tuple[int, List[str]]:
+    """Compare two snapshots; returns ``(exit_code, report_lines)``."""
+    lines: List[str] = []
+    base_table = _index(baseline)
+    new_table = _index(new)
+    only_base = sorted(set(base_table) - set(new_table))
+    only_new = sorted(set(new_table) - set(base_table))
+    for key in only_base:
+        lines.append(f"SKIP  {key[0]}/{key[1]}: only in baseline")
+    for key in only_new:
+        lines.append(f"SKIP  {key[0]}/{key[1]}: only in new snapshot")
+
+    exit_code = EXIT_OK
+    for key in sorted(set(base_table) & set(new_table)):
+        config, prep = key
+        base_entry = base_table[key]
+        new_entry = new_table[key]
+        if base_entry.get("truncated") or new_entry.get("truncated"):
+            # A truncated run's count *and* timing are artifacts of the
+            # time limit; nothing trustworthy to compare.
+            lines.append(f"SKIP  {config}/{prep}: truncated run")
+            continue
+        if base_entry["num_solutions"] != new_entry["num_solutions"]:
+            lines.append(
+                f"COUNT {config}/{prep}: {base_entry['num_solutions']} -> "
+                f"{new_entry['num_solutions']} (correctness alarm)"
+            )
+            exit_code = EXIT_COUNT_MISMATCH
+            continue
+        base_seconds = float(base_entry["seconds"])
+        new_seconds = float(new_entry["seconds"])
+        if max(base_seconds, new_seconds) < min_seconds:
+            lines.append(
+                f"ok    {config}/{prep}: {base_seconds:.4f}s -> {new_seconds:.4f}s "
+                f"(below --min-seconds floor)"
+            )
+            continue
+        ratio = new_seconds / base_seconds if base_seconds > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            lines.append(
+                f"SLOW  {config}/{prep}: {base_seconds:.4f}s -> {new_seconds:.4f}s "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+            if exit_code == EXIT_OK:
+                exit_code = EXIT_REGRESSION
+        else:
+            lines.append(
+                f"ok    {config}/{prep}: {base_seconds:.4f}s -> {new_seconds:.4f}s "
+                f"({ratio:.2f}x)"
+            )
+    return exit_code, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="compare two BENCH_enum.json snapshots and fail on regression",
+    )
+    parser.add_argument("baseline", help="baseline snapshot (the reference)")
+    parser.add_argument("new", help="new snapshot (the candidate)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown before failing (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="ignore timing ratios when both runs are under this (default 0.05s)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0 or args.min_seconds < 0:
+        parser.error("--threshold and --min-seconds must be non-negative")
+    try:
+        baseline = load_snapshot(args.baseline)
+        new = load_snapshot(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    exit_code, lines = compare_snapshots(
+        baseline, new, threshold=args.threshold, min_seconds=args.min_seconds
+    )
+    for line in lines:
+        print(line)
+    verdict = {
+        EXIT_OK: "no regression",
+        EXIT_REGRESSION: "TIMING REGRESSION",
+        EXIT_COUNT_MISMATCH: "SOLUTION COUNT MISMATCH",
+    }[exit_code]
+    print(f"# {verdict} (threshold {args.threshold:.0%}, floor {args.min_seconds}s)")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

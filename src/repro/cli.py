@@ -1,9 +1,15 @@
 """Command-line interface.
 
-Three subcommands cover the library's day-to-day uses:
+Five subcommands cover the library's day-to-day uses:
 
 * ``repro-mbp enumerate``  — enumerate maximal k-biplexes of an edge-list
-  file (or a registry dataset) and print or save them;
+  file (or a registry dataset) and print or save them (``--json`` emits
+  the machine-readable status block shared with the service);
+* ``repro-mbp query``      — the service front end: run a paginated query
+  against a running daemon (``--server``) or an in-process service,
+  inspect daemon statistics, cancel sessions;
+* ``repro-mbp serve``      — run the HTTP/JSON daemon (same flags as
+  ``python -m repro.serve``);
 * ``repro-mbp experiment`` — run one of the per-figure experiment drivers
   and print the paper-style table;
 * ``repro-mbp datasets``   — list the dataset registry (the Table 1 stand-ins).
@@ -32,6 +38,8 @@ Run ``repro-mbp <subcommand> --help`` for the full option list.
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -110,6 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
     enumerate_parser.add_argument(
         "--quiet", action="store_true", help="print only the summary, not the biplexes"
     )
+    enumerate_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit one JSON document (solutions + the full status block: "
+            "traversal counters, truncation flags, shard count, prep "
+            "reduction sizes) instead of text — the same block the query "
+            "service returns"
+        ),
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -117,6 +135,71 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
 
     subparsers.add_parser("datasets", help="list the dataset registry (Table 1 stand-ins)")
+
+    query_parser = subparsers.add_parser(
+        "query", help="query the enumeration service (daemon or in-process)"
+    )
+    query_sub = query_parser.add_subparsers(dest="query_command", required=True)
+
+    run_parser = query_sub.add_parser(
+        "run", help="run one enumeration query, paginating through the service"
+    )
+    run_source = run_parser.add_mutually_exclusive_group(required=True)
+    run_source.add_argument("--input", help="edge-list file (see repro.graph.io)")
+    run_source.add_argument("--dataset", choices=ALL_DATASETS, help="registry dataset name")
+    run_parser.add_argument("-k", type=int, default=1, help="biplex parameter (default 1)")
+    run_parser.add_argument(
+        "--variant",
+        default="full",
+        choices=("full", "no-exclusion", "left-anchored-only"),
+        help="iTraversal variant",
+    )
+    run_parser.add_argument("--backend", default=None, choices=BACKENDS)
+    run_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
+    run_parser.add_argument("--prep", default=None, help="preprocessing mode (see enumerate --help)")
+    run_parser.add_argument(
+        "--order",
+        default=None,
+        help="candidate ordering for core+order prep: degeneracy, degree, gamma or auto",
+    )
+    run_parser.add_argument("--jobs", type=int, default=None)
+    run_parser.add_argument("--max-results", type=int, default=None)
+    run_parser.add_argument("--time-limit", type=float, default=None, help="seconds")
+    run_parser.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="paginate in pages of this size (default: one unpaginated request)",
+    )
+    run_parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help=(
+            "base URL of a running daemon (e.g. http://127.0.0.1:8732); "
+            "omitted = run against an in-process service"
+        ),
+    )
+    run_parser.add_argument(
+        "--format",
+        default="table",
+        choices=("table", "csv", "json"),
+        help="output format (default table)",
+    )
+
+    status_parser = query_sub.add_parser("status", help="print daemon statistics")
+    status_parser.add_argument("--server", required=True, metavar="URL")
+
+    cancel_parser = query_sub.add_parser("cancel", help="cancel a live daemon session")
+    cancel_parser.add_argument("session_id")
+    cancel_parser.add_argument("--server", required=True, metavar="URL")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP/JSON query daemon (same flags as python -m repro.serve)"
+    )
+    from .serve import build_arg_parser as _build_serve_args
+
+    _build_serve_args(serve_parser)
     return parser
 
 
@@ -158,14 +241,28 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     solutions = algorithm.enumerate()
+    stats = algorithm.stats
+    plan = algorithm.prep
+    if args.json:
+        from .service.status import status_block
+
+        document = {
+            "solutions": [
+                [sorted(solution.left), sorted(solution.right)] for solution in solutions
+            ],
+            "num_solutions": len(solutions),
+            "status": status_block(stats, plan),
+        }
+        if args.quiet:
+            document.pop("solutions")
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     if not args.quiet:
         for solution in solutions:
             left = ",".join(str(v) for v in sorted(solution.left))
             right = ",".join(str(u) for u in sorted(solution.right))
             print(f"L: [{left}]  R: [{right}]")
     summary = summarize_solutions(solutions)
-    stats = algorithm.stats
-    plan = algorithm.prep
     print(
         f"# solutions={summary['count']} max_left={summary['max_left']} "
         f"max_right={summary['max_right']} links={stats.num_links} "
@@ -197,6 +294,171 @@ def _command_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# The service front end: `query run` / `query status` / `query cancel`.
+# --------------------------------------------------------------------- #
+def _server_request(server: str, method: str, path: str, payload=None) -> dict:
+    """One JSON round trip to a daemon; raises RuntimeError on HTTP errors."""
+    import urllib.error
+    import urllib.request
+
+    url = server.rstrip("/") + path
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            message = json.loads(error.read()).get("error", str(error))
+        except Exception:
+            message = str(error)
+        raise RuntimeError(f"server error ({error.code}): {message}") from None
+    except urllib.error.URLError as error:
+        raise RuntimeError(f"cannot reach server {server}: {error.reason}") from None
+
+
+def _query_document(args: argparse.Namespace) -> dict:
+    if args.dataset:
+        graph_spec = {"dataset": args.dataset}
+    else:
+        graph_spec = {"path": args.input}
+    return {
+        "graph": graph_spec,
+        "k": args.k,
+        "variant": args.variant,
+        "theta_left": args.theta,
+        "theta_right": args.theta,
+        "backend": args.backend,
+        "prep": args.prep,
+        "order_strategy": args.order,
+        "jobs": args.jobs,
+        "max_results": args.max_results,
+        "time_limit": args.time_limit,
+    }
+
+
+def _run_query(args: argparse.Namespace, query: dict):
+    """Run the query, paginating when asked; returns (solutions, status)."""
+    if args.server is not None:
+        if args.page_size is None:
+            response = _server_request(
+                args.server, "POST", "/v1/enumerate", {"query": query}
+            )
+            return response["solutions"], response["status"]
+        response = _server_request(
+            args.server,
+            "POST",
+            "/v1/enumerate",
+            {"query": query, "paginate": True, "page_size": args.page_size},
+        )
+        solutions = list(response["solutions"])
+        while not response["exhausted"]:
+            response = _server_request(
+                args.server,
+                "POST",
+                "/v1/paginate",
+                {
+                    "session_id": response["session_id"],
+                    "cursor": response["cursor"],
+                    "page_size": args.page_size,
+                },
+            )
+            solutions.extend(response["solutions"])
+        return solutions, response["status"]
+
+    from .service import Budgets, QueryService
+
+    service = QueryService(budgets=Budgets(max_page_size=10**9))
+    if args.page_size is None:
+        response = service.enumerate(query)
+        return response["solutions"], response["status"]
+    response = service.open_session(query, page_size=args.page_size)
+    solutions = list(response["solutions"])
+    while not response["exhausted"]:
+        response = service.next_page(
+            session_id=response["session_id"],
+            cursor=response["cursor"],
+            page_size=args.page_size,
+        )
+        solutions.extend(response["solutions"])
+    return solutions, response["status"]
+
+
+def _print_solutions(solutions, status, fmt: str) -> None:
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "solutions": solutions,
+                    "num_solutions": len(solutions),
+                    "status": status,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return
+    if fmt == "csv":
+        writer = csv.writer(sys.stdout)
+        writer.writerow(["left", "right"])
+        for left, right in solutions:
+            writer.writerow(
+                [" ".join(map(str, left)), " ".join(map(str, right))]
+            )
+        return
+    for left, right in solutions:
+        left_text = ",".join(map(str, left))
+        right_text = ",".join(map(str, right))
+        print(f"L: [{left_text}]  R: [{right_text}]")
+    prep = status.get("prep") or {}
+    print(
+        f"# solutions={len(solutions)} links={status['num_links']} "
+        f"elapsed={status['elapsed_seconds']:.3f}s truncated={status['truncated']}"
+    )
+    if prep:
+        print(
+            f"# prep={prep['mode']} order={prep['order_strategy']} "
+            f"removed_left={prep['removed_left']} removed_right={prep['removed_right']} "
+            f"removed_edges={prep['removed_edges']}"
+        )
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    try:
+        if args.query_command == "status":
+            print(json.dumps(_server_request(args.server, "GET", "/v1/stats"), indent=2))
+            return 0
+        if args.query_command == "cancel":
+            response = _server_request(
+                args.server, "POST", "/v1/cancel", {"session_id": args.session_id}
+            )
+            print(json.dumps(response))
+            return 0 if response.get("cancelled") else 1
+        query = _query_document(args)
+        solutions, status = _run_query(args, query)
+    except (RuntimeError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_solutions(solutions, status, args.format)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve import service_from_args
+    from .service.http import ServiceHTTPServer
+
+    try:
+        service = service_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    ServiceHTTPServer(service, host=args.host, port=args.port).run()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``repro-mbp`` console script."""
     parser = _build_parser()
@@ -207,6 +469,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "datasets":
         return _command_datasets(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -23,6 +23,7 @@ from .enum_almost_sat import (
 )
 from .itraversal import ITraversal, enumerate_large_mbps, enumerate_mbps, itraversal_config
 from .large import LargeMBPEnumerator, filter_large
+from .session import CURSOR_SCHEMA, CursorError, EnumerationSession
 from .solution_graph import SolutionGraph, build_solution_graph, count_links
 from .traversal import ReverseSearchEngine, TraversalConfig, TraversalStats, run_with_stats
 from .verify import (
@@ -59,6 +60,9 @@ __all__ = [
     "enumerate_large_mbps",
     "LargeMBPEnumerator",
     "filter_large",
+    "CURSOR_SCHEMA",
+    "CursorError",
+    "EnumerationSession",
     "ReverseSearchEngine",
     "TraversalConfig",
     "TraversalStats",

@@ -111,8 +111,19 @@ class BTraversal:
         )
 
     def run(self) -> Iterator[Biplex]:
-        """Lazily yield maximal k-biplexes."""
+        """Lazily yield maximal k-biplexes (a fresh one-shot session per call)."""
         return self._engine.run()
+
+    def session(self):
+        """A fresh pausable :class:`~repro.core.session.EnumerationSession`.
+
+        Shares this instance's engine; see
+        :meth:`repro.core.itraversal.ITraversal.session` for the liveness
+        contract.
+        """
+        from .session import EnumerationSession
+
+        return EnumerationSession.from_engine(self._engine)
 
     def enumerate(self) -> List[Biplex]:
         """Enumerate all maximal k-biplexes (subject to any configured limits)."""

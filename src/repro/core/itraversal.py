@@ -175,9 +175,35 @@ class ITraversal:
         return self._restore(solution)
 
     def run(self) -> Iterator[Biplex]:
-        """Lazily yield maximal k-biplexes (in original-graph coordinates)."""
+        """Lazily yield maximal k-biplexes (in original-graph coordinates).
+
+        Each call is a fresh one-shot enumeration session (see
+        :meth:`session` for the pausable variant with cursors).
+        """
         for solution in self._engine.run():
             yield self._restore(solution)
+
+    def session(self):
+        """A fresh pausable :class:`~repro.core.session.EnumerationSession`.
+
+        The session shares this instance's engine (graph conversion and
+        prep are not repeated) and yields solutions in the original
+        graph's coordinates; use :meth:`EnumerationSession.next_batch` /
+        ``cursor()`` for pagination and resume.  Only one session (or
+        :meth:`run` stream) per instance should be live at a time — they
+        share the engine's traversal state, exactly like concurrent
+        ``run()`` iterators always did.  Unsupported for the mirrored
+        ``anchor="right"`` variant, whose output coordinate swap lives in
+        this front end, not in the session layer.
+        """
+        if self._mirrored:
+            raise NotImplementedError(
+                "sessions yield working-graph coordinates; the anchor='right' "
+                "mirror swap is only applied by ITraversal.run()"
+            )
+        from .session import EnumerationSession
+
+        return EnumerationSession.from_engine(self._engine)
 
     def enumerate(self) -> List[Biplex]:
         """Enumerate all maximal k-biplexes (subject to configured limits)."""

@@ -145,6 +145,15 @@ class LargeMBPEnumerator:
         """
         return self._algorithm.run()
 
+    def session(self):
+        """A fresh pausable :class:`~repro.core.session.EnumerationSession`.
+
+        Carries the size thresholds and prep reduction of this enumerator;
+        see :meth:`repro.core.itraversal.ITraversal.session` for the
+        liveness contract.
+        """
+        return self._algorithm.session()
+
     def enumerate(self) -> List[Biplex]:
         """Enumerate all large MBPs (check :attr:`truncated` for completeness)."""
         return list(self.run())

@@ -12,8 +12,25 @@ This package depends only on :mod:`repro.graph` (never on
 :mod:`repro.core`), so the core traversal layer can import it freely.
 """
 
-from .ordering import ORDER_STRATEGIES, degeneracy_order, degree_order, gamma_score_order
-from .plan import PREP_ENV_VAR, PREP_MODES, PrepPlan, default_prep, prepare, resolve_prep
+from .ordering import (
+    ORDER_STRATEGIES,
+    auto_order,
+    choose_order_strategy,
+    degeneracy_order,
+    degree_order,
+    gamma_score_order,
+)
+from .plan import (
+    ORDER_ENV_VAR,
+    PREP_ENV_VAR,
+    PREP_MODES,
+    PrepPlan,
+    default_order_strategy,
+    default_prep,
+    prepare,
+    resolve_order_strategy,
+    resolve_prep,
+)
 from .reduce import (
     Reduction,
     bitruss_support_bound,
@@ -22,17 +39,22 @@ from .reduce import (
 )
 
 __all__ = [
+    "ORDER_ENV_VAR",
     "PREP_ENV_VAR",
     "PREP_MODES",
     "PrepPlan",
+    "default_order_strategy",
     "default_prep",
     "prepare",
+    "resolve_order_strategy",
     "resolve_prep",
     "Reduction",
     "reduce_for_thresholds",
     "threshold_core_bounds",
     "bitruss_support_bound",
     "ORDER_STRATEGIES",
+    "auto_order",
+    "choose_order_strategy",
     "degeneracy_order",
     "degree_order",
     "gamma_score_order",

@@ -24,6 +24,10 @@ from typing import Callable, Dict, List, Tuple
 
 Orders = Tuple[List[int], List[int]]
 
+#: Auto-selection thresholds (see :func:`choose_order_strategy`).
+AUTO_DENSE_DENSITY = 0.25
+AUTO_HUB_SKEW = 4.0
+
 
 def degeneracy_order(graph) -> Orders:
     """Two-sided min-degree peel (bipartite degeneracy ordering)."""
@@ -97,9 +101,48 @@ def gamma_score_order(graph) -> Orders:
     return left, right
 
 
+def choose_order_strategy(graph) -> str:
+    """Pick a concrete strategy from cheap graph-shape statistics.
+
+    One degree pass (no adjacency walks) decides between the three
+    hand-picked strategies:
+
+    * **dense** graphs (density ≥ ``AUTO_DENSE_DENSITY``) — degrees are
+      near-uniform, so the peel order collapses to the degree order;
+      ``degree`` pays the least for the same effect;
+    * **hub-skewed** graphs (max degree ≥ ``AUTO_HUB_SKEW`` × mean) —
+      ``degeneracy`` is the one strategy whose peel *re-ranks* after each
+      removal, pushing the hubs to the back where accumulated exclusion
+      prefixes prune them hardest;
+    * otherwise (sparse, even degrees) — first-hop degree barely
+      differentiates vertices; ``gamma``'s second-hop mass does.
+    """
+    left_degrees = [graph.degree_of_left(v) for v in range(graph.n_left)]
+    right_degrees = [graph.degree_of_right(u) for u in range(graph.n_right)]
+    n = graph.n_left + graph.n_right
+    m = sum(left_degrees)
+    if n == 0 or m == 0:
+        return "degree"
+    density = m / (graph.n_left * graph.n_right)
+    if density >= AUTO_DENSE_DENSITY:
+        return "degree"
+    mean_degree = 2.0 * m / n
+    max_degree = max(max(left_degrees, default=0), max(right_degrees, default=0))
+    if max_degree >= AUTO_HUB_SKEW * mean_degree:
+        return "degeneracy"
+    return "gamma"
+
+
+def auto_order(graph) -> Orders:
+    """Shape-adaptive ordering: :func:`choose_order_strategy`, then run it."""
+    return ORDER_STRATEGIES[choose_order_strategy(graph)](graph)
+
+
 #: Named ordering strategies selectable by :func:`repro.prep.prepare`.
 ORDER_STRATEGIES: Dict[str, Callable[[object], Orders]] = {
     "degeneracy": degeneracy_order,
     "degree": degree_order,
     "gamma": gamma_score_order,
 }
+# Registered after the dict exists: ``auto`` dispatches *into* the table.
+ORDER_STRATEGIES["auto"] = auto_order

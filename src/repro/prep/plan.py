@@ -25,7 +25,7 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .ordering import ORDER_STRATEGIES
+from .ordering import ORDER_STRATEGIES, choose_order_strategy
 from .reduce import reduce_for_thresholds
 
 #: Modes accepted by :func:`prepare` and every ``prep=`` parameter.
@@ -33,6 +33,37 @@ PREP_MODES = ("off", "core", "core+order")
 
 #: Environment variable overriding :func:`default_prep`.
 PREP_ENV_VAR = "REPRO_PREP"
+
+#: Environment variable overriding :func:`default_order_strategy`.
+ORDER_ENV_VAR = "REPRO_ORDER"
+
+
+def default_order_strategy() -> str:
+    """The candidate-ordering strategy used when none is requested.
+
+    ``degeneracy`` by default (the paper's BBK-style peel); set
+    ``REPRO_ORDER`` to ``degree``, ``gamma`` or ``auto`` to flip it
+    globally, mirroring ``REPRO_PREP`` / ``REPRO_BACKEND``.
+    """
+    strategy = os.environ.get(ORDER_ENV_VAR, "degeneracy")
+    if strategy not in ORDER_STRATEGIES:
+        raise ValueError(
+            f"{ORDER_ENV_VAR}={strategy!r} is not a valid order strategy; "
+            f"expected one of {tuple(ORDER_STRATEGIES)}"
+        )
+    return strategy
+
+
+def resolve_order_strategy(strategy: Optional[str]) -> str:
+    """Resolve an explicit or defaulted ordering strategy, validating it."""
+    if strategy is None:
+        return default_order_strategy()
+    if strategy not in ORDER_STRATEGIES:
+        raise ValueError(
+            f"unknown order strategy {strategy!r}; "
+            f"expected one of {tuple(ORDER_STRATEGIES)}"
+        )
+    return strategy
 
 
 def default_prep() -> str:
@@ -80,6 +111,10 @@ class PrepPlan:
     removed_left: int = 0
     removed_right: int = 0
     removed_edges: int = 0
+    #: The *concrete* ordering strategy that produced ``left_order`` /
+    #: ``right_order`` (``auto`` resolves to its pick); ``None`` unless
+    #: mode is ``core+order``.
+    order_strategy: Optional[str] = None
 
     @property
     def is_identity_map(self) -> bool:
@@ -108,7 +143,7 @@ def prepare(
     mode: Optional[str] = None,
     theta_left: int = 0,
     theta_right: int = 0,
-    order_strategy: str = "degeneracy",
+    order_strategy: Optional[str] = None,
 ) -> PrepPlan:
     """Build the :class:`PrepPlan` for one enumeration run.
 
@@ -117,22 +152,24 @@ def prepare(
     the asymmetric threshold bounds of :mod:`repro.prep.reduce` — sound
     for ``theta_left != theta_right`` — and the ordering (``core+order``
     only) is computed on the reduced graph with the named strategy from
-    :data:`repro.prep.ordering.ORDER_STRATEGIES`.
+    :data:`repro.prep.ordering.ORDER_STRATEGIES`; ``order_strategy=None``
+    resolves via ``REPRO_ORDER`` (default ``degeneracy``), and ``auto``
+    picks from graph-shape statistics.  The plan records the concrete
+    strategy used in :attr:`PrepPlan.order_strategy`.
     """
     mode = resolve_prep(mode)
     if mode == "off":
         return PrepPlan(mode=mode, graph=graph)
     reduction = reduce_for_thresholds(graph, k, theta_left, theta_right)
     left_order = right_order = None
+    resolved_strategy: Optional[str] = None
     if mode == "core+order":
-        try:
-            strategy = ORDER_STRATEGIES[order_strategy]
-        except KeyError:
-            raise ValueError(
-                f"unknown order strategy {order_strategy!r}; "
-                f"expected one of {tuple(ORDER_STRATEGIES)}"
-            ) from None
-        left_order, right_order = strategy(reduction.graph)
+        resolved_strategy = resolve_order_strategy(order_strategy)
+        if resolved_strategy == "auto":
+            # Resolve on the *reduced* graph: that is the shape the
+            # ordering will actually run over.
+            resolved_strategy = choose_order_strategy(reduction.graph)
+        left_order, right_order = ORDER_STRATEGIES[resolved_strategy](reduction.graph)
     return PrepPlan(
         mode=mode,
         graph=reduction.graph,
@@ -143,4 +180,5 @@ def prepare(
         removed_left=reduction.removed_left,
         removed_right=reduction.removed_right,
         removed_edges=reduction.removed_edges,
+        order_strategy=resolved_strategy,
     )

@@ -1,0 +1,214 @@
+"""A stdlib-asyncio HTTP/JSON front end for :class:`~repro.service.query.QueryService`.
+
+No web framework — the container policy is stdlib + numpy — so this is a
+deliberately small HTTP/1.1 server on ``asyncio.start_server``: parse one
+request, dispatch, write one JSON response, close.  Enumeration work is
+synchronous CPU-bound Python, so handlers run it on a thread pool via
+``run_in_executor``; concurrency control lives below this layer (the
+session table's per-record locks serialize pagination of one session,
+distinct sessions and distinct queries proceed in parallel).
+
+Routes (all responses JSON):
+
+========  ==============  ====================================================
+method    path            body
+========  ==============  ====================================================
+GET       /healthz        —
+GET       /v1/stats       —
+POST      /v1/enumerate   ``{"query": {...}}`` one-shot, or
+                          ``{"query": {...}, "paginate": true,
+                          "page_size": N}`` for the first page
+POST      /v1/paginate    ``{"session_id": ..., "cursor": ..., "page_size": N}``
+POST      /v1/cancel      ``{"session_id": ...}``
+========  ==============  ====================================================
+
+Errors map to ``{"error": message}`` with 400 (bad query / bad cursor),
+404 (expired session, unknown route), 405 or 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+
+from .query import QueryError, QueryService
+from .sessions import SessionExpired
+
+#: Largest accepted request body (inline graphs included).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServiceHTTPServer:
+    """One query service behind one listening socket."""
+
+    def __init__(
+        self,
+        service: Optional[QueryService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor_workers: int = 8,
+    ) -> None:
+        self.service = service if service is not None else QueryService()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — the tests (and the CI smoke
+        job) read the real one from the return value.
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+        self.service.close()
+
+    def run(self) -> None:  # pragma: no cover - exercised via `python -m repro.serve`
+        """Blocking convenience wrapper: start and serve until interrupted."""
+
+        async def _main() -> None:
+            host, port = await self.start()
+            print(f"repro service listening on http://{host}:{port}", flush=True)
+            await self.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except Exception as error:  # never let a handler kill the loop
+            status, payload = 500, {"error": f"internal error: {error}"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, dict]:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return 400, {"error": "malformed HTTP request"}
+        request_line, _, header_text = header_blob.decode(
+            "latin-1"
+        ).partition("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": "malformed request line"}
+        method, path, _version = parts
+        headers = {}
+        for line in header_text.split("\r\n"):
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": "request body too large"}
+        body = await reader.readexactly(length) if length else b""
+        return await self._dispatch(method, path, body)
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {"ok": True}
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.service.stats()
+        if path not in ("/v1/enumerate", "/v1/paginate", "/v1/cancel"):
+            return 404, {"error": f"unknown route {path}"}
+        if method != "POST":
+            return 405, {"error": "use POST"}
+        try:
+            document = json.loads(body) if body else {}
+        except json.JSONDecodeError as error:
+            return 400, {"error": f"request body is not JSON: {error}"}
+        if not isinstance(document, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        loop = asyncio.get_running_loop()
+        try:
+            if path == "/v1/enumerate":
+                query = document.get("query")
+                if document.get("paginate"):
+                    result = await loop.run_in_executor(
+                        self._executor,
+                        lambda: self.service.open_session(
+                            query, page_size=document.get("page_size")
+                        ),
+                    )
+                else:
+                    result = await loop.run_in_executor(
+                        self._executor, lambda: self.service.enumerate(query)
+                    )
+            elif path == "/v1/paginate":
+                result = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.service.next_page(
+                        session_id=document.get("session_id"),
+                        cursor=document.get("cursor"),
+                        page_size=document.get("page_size"),
+                    ),
+                )
+            else:  # /v1/cancel
+                session_id = document.get("session_id")
+                if not isinstance(session_id, str):
+                    return 400, {"error": "cancel needs a session_id"}
+                result = {"cancelled": self.service.cancel(session_id)}
+        except SessionExpired:
+            return 404, {"error": "session expired or unknown (resume via cursor)"}
+        except QueryError as error:  # includes ServiceCursorError
+            return 400, {"error": str(error)}
+        return 200, result

@@ -1,0 +1,40 @@
+"""The shared run-status block: one schema for CLI ``--json`` and service responses.
+
+Batch runs (``repro-mbp enumerate --json``), the ``repro-mbp query``
+family and the HTTP daemon all report the same status document, so a
+consumer can switch between them without reparsing: the full
+:class:`~repro.core.traversal.TraversalStats` counters (including
+``truncated`` and the parallel-only ``num_shards`` /
+``num_duplicate_solutions`` / ``num_reexplorations``) plus the prep plan's
+reduction sizes and ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional
+
+from ..core.traversal import TraversalStats
+
+
+def status_block(stats: TraversalStats, plan=None, **extra) -> dict:
+    """Serialize one run's statistics (and optionally its prep plan).
+
+    ``extra`` keys are merged on top — the service adds e.g. ``cached`` or
+    per-request timings; the CLI adds nothing.  The core counters always
+    come straight from :class:`TraversalStats`, so the block is identical
+    whether the run happened in-process, through a session or behind the
+    daemon.
+    """
+    block = asdict(stats)
+    block["truncated"] = stats.truncated
+    if plan is not None:
+        block["prep"] = {
+            "mode": plan.mode,
+            "order_strategy": getattr(plan, "order_strategy", None),
+            "removed_left": plan.removed_left,
+            "removed_right": plan.removed_right,
+            "removed_edges": plan.removed_edges,
+        }
+    block.update(extra)
+    return block

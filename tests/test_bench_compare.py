@@ -1,0 +1,132 @@
+"""Tests of the benchmark snapshot comparator (repro.bench.compare)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    EXIT_COUNT_MISMATCH,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
+    compare_snapshots,
+    main,
+)
+
+
+def snapshot(**runs):
+    """A minimal repro-bench-enum/1 document; runs map config -> prep entries."""
+    return {
+        "schema": "repro-bench-enum/1",
+        "python": "3.12.0",
+        "bench_scale": 1.0,
+        "time_limit": 60.0,
+        "runs": [
+            {
+                "config": config,
+                "k": 1,
+                "theta_left": 0,
+                "theta_right": 0,
+                "n_left": 5,
+                "n_right": 5,
+                "num_edges": 10,
+                "preps": preps,
+            }
+            for config, preps in runs.items()
+        ],
+    }
+
+
+def entry(seconds, num_solutions=10, truncated=False):
+    return {
+        "seconds": seconds,
+        "num_solutions": num_solutions,
+        "truncated": truncated,
+        "removed_left": 0,
+        "removed_right": 0,
+        "removed_edges": 0,
+    }
+
+
+class TestCompareSnapshots:
+    def test_identical_snapshots_pass(self):
+        base = snapshot(er={"core": entry(1.0)})
+        code, lines = compare_snapshots(base, base)
+        assert code == EXIT_OK
+        assert any(line.startswith("ok") for line in lines)
+
+    def test_small_speedup_and_slowdown_within_threshold_pass(self):
+        base = snapshot(er={"core": entry(1.0)})
+        new = snapshot(er={"core": entry(1.15)})
+        assert compare_snapshots(base, new, threshold=0.2)[0] == EXIT_OK
+        faster = snapshot(er={"core": entry(0.5)})
+        assert compare_snapshots(base, faster, threshold=0.2)[0] == EXIT_OK
+
+    def test_regression_past_threshold_fails(self):
+        base = snapshot(er={"core": entry(1.0)})
+        new = snapshot(er={"core": entry(1.5)})
+        code, lines = compare_snapshots(base, new, threshold=0.2)
+        assert code == EXIT_REGRESSION
+        assert any(line.startswith("SLOW") for line in lines)
+
+    def test_count_mismatch_outranks_timing(self):
+        base = snapshot(er={"core": entry(1.0, num_solutions=10)})
+        new = snapshot(er={"core": entry(0.1, num_solutions=11)})
+        code, lines = compare_snapshots(base, new)
+        assert code == EXIT_COUNT_MISMATCH
+        assert any(line.startswith("COUNT") for line in lines)
+
+    def test_sub_floor_timings_are_ignored(self):
+        base = snapshot(er={"core": entry(0.001)})
+        new = snapshot(er={"core": entry(0.040)})  # 40x, but both tiny
+        assert compare_snapshots(base, new, min_seconds=0.05)[0] == EXIT_OK
+
+    def test_truncated_runs_are_skipped(self):
+        base = snapshot(er={"core": entry(1.0, truncated=True)})
+        new = snapshot(er={"core": entry(99.0, num_solutions=1)})
+        code, lines = compare_snapshots(base, new)
+        assert code == EXIT_OK
+        assert any(line.startswith("SKIP") for line in lines)
+
+    def test_non_overlapping_runs_are_reported_not_failed(self):
+        base = snapshot(old={"core": entry(1.0)})
+        new = snapshot(new={"core": entry(1.0)})
+        code, lines = compare_snapshots(base, new)
+        assert code == EXIT_OK
+        assert sum(line.startswith("SKIP") for line in lines) == 2
+
+
+class TestCompareCLI:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_exit_codes_flow_through(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", snapshot(er={"core": entry(1.0)}))
+        same = self.write(tmp_path, "same.json", snapshot(er={"core": entry(1.0)}))
+        slow = self.write(tmp_path, "slow.json", snapshot(er={"core": entry(2.0)}))
+        assert main([base, same]) == EXIT_OK
+        assert main([base, slow, "--threshold", "0.2"]) == EXIT_REGRESSION
+        assert main([base, slow, "--threshold", "2.0"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "no regression" in out
+
+    def test_bad_inputs_exit_usage(self, tmp_path, capsys):
+        missing = str(tmp_path / "missing.json")
+        good = self.write(tmp_path, "good.json", snapshot(er={"core": entry(1.0)}))
+        assert main([missing, good]) == EXIT_USAGE
+        wrong_schema = self.write(tmp_path, "bad.json", {"schema": "other/1"})
+        assert main([wrong_schema, good]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_harness_snapshot_round_trips(self, tmp_path, monkeypatch):
+        """A real harness snapshot compares clean against itself."""
+        monkeypatch.setenv("REPRO_BENCH_TINY", "1")
+        from repro.bench.harness import collect_bench_snapshot
+
+        real = collect_bench_snapshot(time_limit=30.0)
+        path = self.write(tmp_path, "real.json", real)
+        assert main([path, path]) == EXIT_OK

@@ -189,6 +189,85 @@ class TestOrderings:
         assert right[0] == 3
 
 
+class TestAutoOrder:
+    def test_dense_graph_picks_degree(self):
+        from repro.prep import choose_order_strategy
+        from repro.graph import BipartiteGraph
+
+        # Complete bipartite: density 1.0, way past the dense threshold.
+        edges = [(v, u) for v in range(4) for u in range(4)]
+        graph = BipartiteGraph(4, 4, edges=edges)
+        assert choose_order_strategy(graph) == "degree"
+
+    def test_hub_skewed_graph_picks_degeneracy(self):
+        from repro.prep import choose_order_strategy
+        from repro.graph import BipartiteGraph
+
+        # One left hub over a large sparse fringe: max degree far above mean.
+        edges = [(0, u) for u in range(12)] + [(v, v - 1) for v in range(1, 12)]
+        graph = BipartiteGraph(12, 12, edges=edges)
+        assert choose_order_strategy(graph) == "degeneracy"
+
+    def test_sparse_even_graph_picks_gamma(self):
+        from repro.prep import choose_order_strategy
+        from repro.graph import BipartiteGraph
+
+        # A long cycle: every degree 2, sparse — no hubs, no density.
+        n = 10
+        edges = [(v, v) for v in range(n)] + [(v, (v + 1) % n) for v in range(n)]
+        graph = BipartiteGraph(n, n, edges=edges)
+        assert choose_order_strategy(graph) == "gamma"
+
+    def test_degenerate_graphs_pick_degree(self):
+        from repro.prep import choose_order_strategy
+        from repro.graph import BipartiteGraph
+
+        assert choose_order_strategy(BipartiteGraph(0, 0, edges=[])) == "degree"
+        assert choose_order_strategy(BipartiteGraph(3, 3, edges=[])) == "degree"
+
+    def test_auto_is_a_registered_strategy(self):
+        for seed in range(3):
+            graph = erdos_renyi_bipartite(6, 6, num_edges=14, seed=seed)
+            left, right = ORDER_STRATEGIES["auto"](graph)
+            assert sorted(left) == list(graph.left_vertices())
+            assert sorted(right) == list(graph.right_vertices())
+
+    def test_plan_records_concrete_strategy(self):
+        from repro.prep import choose_order_strategy
+
+        graph = graph_with_fringe()
+        plan = prepare(graph, 1, "core+order", order_strategy="auto")
+        assert plan.order_strategy in ("degeneracy", "degree", "gamma")
+        assert plan.order_strategy == choose_order_strategy(plan.graph)
+        explicit = prepare(graph, 1, "core+order", order_strategy="gamma")
+        assert explicit.order_strategy == "gamma"
+        assert prepare(graph, 1, "core").order_strategy is None
+
+    def test_auto_preserves_solution_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORDER", "auto")
+        for seed in range(3):
+            graph = erdos_renyi_bipartite(6, 5, num_edges=14, seed=seed)
+            baseline = ITraversal(graph, 1, prep="off").enumerate()
+            auto = ITraversal(graph, 1, prep="core+order").enumerate()
+            assert sorted(s.key() for s in auto) == sorted(s.key() for s in baseline)
+
+    def test_env_var_resolves_default(self, monkeypatch):
+        from repro.prep import default_order_strategy, resolve_order_strategy
+
+        monkeypatch.delenv("REPRO_ORDER", raising=False)
+        assert default_order_strategy() == "degeneracy"
+        assert resolve_order_strategy(None) == "degeneracy"
+        monkeypatch.setenv("REPRO_ORDER", "auto")
+        assert resolve_order_strategy(None) == "auto"
+        plan = prepare(graph_with_fringe(), 1, "core+order")
+        assert plan.order_strategy in ("degeneracy", "degree", "gamma")
+
+    def test_invalid_env_var_raises_with_its_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORDER", "zigzag")
+        with pytest.raises(ValueError, match="REPRO_ORDER"):
+            prepare(graph_with_fringe(), 1, "core+order")
+
+
 # --------------------------------------------------------------------- #
 # Plans, modes, environment
 # --------------------------------------------------------------------- #

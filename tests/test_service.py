@@ -1,0 +1,289 @@
+"""Tests of the query service layer: registry, session table, front door.
+
+The acceptance bar for the hot-graph registry: a second identical query
+performs **zero** graph loads and zero prep builds (asserted through the
+hit counters) and is measurably faster than the cold run.  Around that:
+session TTL/capacity eviction with cursor survival, budget clamps,
+result-cache semantics (never cache time-limit truncation), and the
+service-cursor envelope surviving a simulated daemon restart.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import paper_example_graph, write_edge_list
+from repro.core import ITraversal
+from repro.service import (
+    Budgets,
+    HotGraphRegistry,
+    QueryError,
+    QueryService,
+    ServiceCursorError,
+    SessionExpired,
+    SessionTable,
+)
+
+
+def paper_query(**overrides):
+    graph = paper_example_graph()
+    query = {
+        "graph": {
+            "n_left": graph.n_left,
+            "n_right": graph.n_right,
+            "edges": [list(edge) for edge in sorted(graph.edges())],
+        },
+        "k": 1,
+    }
+    query.update(overrides)
+    return query
+
+
+def expected_solutions(k=1, **kwargs):
+    solutions = ITraversal(paper_example_graph(), k, **kwargs).enumerate()
+    return [[sorted(s.left), sorted(s.right)] for s in solutions]
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+class TestHotGraphRegistry:
+    def test_second_identical_query_skips_load_and_prep(self):
+        service = QueryService()
+        service.enumerate(paper_query())
+        counters = service.registry.counters()
+        assert counters == {
+            **counters,
+            "graph_loads": 1,
+            "graph_hits": 0,
+            "plans_built": 1,
+            "plan_hits": 0,
+        }
+        # Pagination (not the result cache) so the registry is exercised.
+        service.open_session(paper_query(), page_size=2)
+        counters = service.registry.counters()
+        assert counters["graph_loads"] == 1
+        assert counters["graph_hits"] == 1
+        assert counters["plans_built"] == 1
+        assert counters["plan_hits"] == 1
+
+    def test_hot_query_is_faster_than_cold(self, tmp_path):
+        # A file-backed graph so the cold path includes real I/O + prep.
+        path = tmp_path / "graph.txt"
+        write_edge_list(paper_example_graph(), path)
+        service = QueryService(result_cache_capacity=0)  # isolate the registry
+        query = {"graph": {"path": str(path)}, "k": 1}
+        start = time.perf_counter()
+        cold = service.enumerate(query)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        hot = service.enumerate(query)
+        hot_seconds = time.perf_counter() - start
+        assert hot["solutions"] == cold["solutions"]
+        assert service.registry.counters()["plan_hits"] == 1
+        assert hot_seconds < cold_seconds
+
+    def test_lru_eviction_drops_graph_and_its_plans(self):
+        registry = HotGraphRegistry(capacity=1)
+        graph = paper_example_graph()
+        registry.get_graph(("dataset", "a"), lambda: graph)
+        registry.get_plan(("dataset", "a"), graph, 1, "set", "core", 0, 0)
+        registry.get_graph(("dataset", "b"), lambda: graph)
+        counters = registry.counters()
+        assert counters["graph_evictions"] == 1
+        assert counters["plan_evictions"] == 1
+        assert counters["graphs_resident"] == 1
+        assert registry.peek_graph(("dataset", "a")) is None
+
+    def test_distinct_parameterizations_build_distinct_plans(self):
+        service = QueryService()
+        service.open_session(paper_query(), page_size=1)
+        service.open_session(paper_query(k=2), page_size=1)
+        counters = service.registry.counters()
+        assert counters["graph_loads"] == 1
+        assert counters["plans_built"] == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            HotGraphRegistry(capacity=0)
+
+
+# --------------------------------------------------------------------- #
+# Session table
+# --------------------------------------------------------------------- #
+class TestSessionTable:
+    def test_ttl_eviction_with_injectable_clock(self):
+        clock = {"now": 0.0}
+        table = SessionTable(ttl_seconds=10.0, clock=lambda: clock["now"])
+        service = QueryService(sessions=table)
+        page = service.open_session(paper_query(), page_size=2)
+        session_id = page["session_id"]
+        clock["now"] = 5.0
+        table.get(session_id)  # touch refreshes the TTL
+        clock["now"] = 14.0
+        table.get(session_id)  # still alive: last touch was at 5.0
+        clock["now"] = 30.0
+        with pytest.raises(SessionExpired):
+            table.get(session_id)
+        assert table.counters()["sessions_expired"] == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        table = SessionTable(capacity=2)
+        service = QueryService(sessions=table)
+        first = service.open_session(paper_query(), page_size=1)
+        second = service.open_session(paper_query(k=2), page_size=1)
+        table.get(first["session_id"])  # make `second` the LRU
+        service.open_session(paper_query(k=3), page_size=1)
+        table.get(first["session_id"])
+        with pytest.raises(SessionExpired):
+            table.get(second["session_id"])
+        assert table.counters()["sessions_evicted"] == 1
+
+    def test_evicted_session_resumes_from_cursor(self):
+        clock = {"now": 0.0}
+        table = SessionTable(ttl_seconds=1.0, clock=lambda: clock["now"])
+        service = QueryService(sessions=table)
+        expected = expected_solutions()
+        page = service.open_session(paper_query(), page_size=4)
+        clock["now"] = 100.0  # the session is long gone...
+        follow_up = service.next_page(
+            session_id=page["session_id"], cursor=page["cursor"], page_size=1000
+        )
+        # ...but the cursor carried everything needed to continue exactly.
+        assert page["solutions"] + follow_up["solutions"] == expected
+        assert follow_up["exhausted"]
+
+    def test_cancel_is_idempotent_and_cursor_survives(self):
+        service = QueryService()
+        expected = expected_solutions()
+        page = service.open_session(paper_query(), page_size=3)
+        assert service.cancel(page["session_id"]) is True
+        assert service.cancel(page["session_id"]) is False
+        resumed = service.next_page(cursor=page["cursor"], page_size=1000)
+        assert page["solutions"] + resumed["solutions"] == expected
+
+
+# --------------------------------------------------------------------- #
+# Query front door
+# --------------------------------------------------------------------- #
+class TestQueryService:
+    def test_enumerate_matches_library(self):
+        service = QueryService()
+        response = service.enumerate(paper_query())
+        assert response["solutions"] == expected_solutions()
+        assert response["num_solutions"] == 13
+        status = response["status"]
+        assert status["truncated"] is False
+        # The mode follows the environment default (REPRO_PREP in CI legs).
+        from repro.prep import resolve_prep
+
+        assert status["prep"]["mode"] == resolve_prep(None)
+        assert "num_shards" in status
+
+    def test_result_cache_hit_and_bypass_of_time_truncation(self):
+        service = QueryService()
+        first = service.enumerate(paper_query())
+        second = service.enumerate(paper_query())
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["solutions"] == first["solutions"]
+        # max_results truncation is deterministic and cached fine.
+        capped = service.enumerate(paper_query(max_results=3))
+        assert capped["cached"] is False
+        assert service.enumerate(paper_query(max_results=3))["cached"] is True
+        # A time-limited run that actually truncates is never cached.
+        squeezed = service.enumerate(paper_query(time_limit=1e-9))
+        if squeezed["status"]["hit_time_limit"]:
+            again = service.enumerate(paper_query(time_limit=1e-9))
+            assert again["cached"] is False
+
+    def test_cached_result_is_isolated_from_mutation(self):
+        service = QueryService()
+        first = service.enumerate(paper_query())
+        first["solutions"].clear()
+        assert service.enumerate(paper_query())["solutions"] == expected_solutions()
+
+    def test_pagination_matches_enumerate(self):
+        service = QueryService()
+        expected = expected_solutions()
+        page = service.open_session(paper_query(), page_size=5)
+        collected = list(page["solutions"])
+        while not page["exhausted"]:
+            page = service.next_page(session_id=page["session_id"], page_size=5)
+            collected.extend(page["solutions"])
+        assert collected == expected
+        assert page["session_id"] is None  # exhausted sessions are freed
+
+    def test_service_cursor_survives_restart(self):
+        """A fresh service (fresh registry, empty tables) resumes the token."""
+        old = QueryService()
+        expected = expected_solutions()
+        page = old.open_session(paper_query(), page_size=6)
+        fresh = QueryService()
+        resumed = fresh.next_page(cursor=page["cursor"], page_size=1000)
+        assert page["solutions"] + resumed["solutions"] == expected
+        assert fresh.stats()["cursor_resumes"] == 1
+
+    def test_budget_clamps_ride_existing_limits(self):
+        service = QueryService(budgets=Budgets(max_results_cap=4, max_page_size=2))
+        response = service.enumerate(paper_query())
+        assert response["num_solutions"] == 4
+        assert response["status"]["hit_result_limit"] is True
+        # Requests under the cap keep their own limit; over it are clamped.
+        assert service.enumerate(paper_query(max_results=2))["num_solutions"] == 2
+        assert service.enumerate(paper_query(max_results=100))["num_solutions"] == 4
+        page = service.open_session(paper_query(), page_size=50)
+        assert page["page_size"] == 2  # clamped to max_page_size
+
+    def test_dataset_and_jobs_queries(self):
+        service = QueryService()
+        query = {"graph": {"dataset": "divorce"}, "k": 1, "theta_left": 5, "theta_right": 5}
+        serial = service.enumerate(query)
+        parallel = service.enumerate({**query, "jobs": 2})
+        assert serial["num_solutions"] > 0
+        # The parallel engine emits the canonically *sorted* stream; serial
+        # emits DFS pre-order — same solution set, different sequence.
+        assert sorted(parallel["solutions"]) == sorted(serial["solutions"])
+        assert parallel["status"]["num_shards"] > 0
+
+    @pytest.mark.parametrize(
+        "broken, match",
+        [
+            ({"k": 1}, "graph"),
+            ({"graph": {"dataset": "divorce"}}, "k must be"),
+            ({"graph": {"dataset": "nope"}, "k": 1}, "unknown dataset"),
+            ({"graph": {"dataset": "divorce"}, "k": 1, "variant": "x"}, "variant"),
+            ({"graph": {"dataset": "divorce"}, "k": 1, "backend": "x"}, "backend"),
+            ({"graph": {"dataset": "divorce"}, "k": 1, "prep": "x"}, "prep mode"),
+            ({"graph": {"dataset": "divorce"}, "k": 1, "max_results": 0}, "max_results"),
+            ({"graph": {"dataset": "divorce"}, "k": 1, "bogus": 1}, "unknown query fields"),
+            ({"graph": {"path": "x", "dataset": "y"}, "k": 1}, "exactly one"),
+        ],
+    )
+    def test_query_validation(self, broken, match):
+        with pytest.raises(QueryError, match=match):
+            QueryService().normalize(broken)
+
+    def test_malformed_service_cursor_rejected(self):
+        service = QueryService()
+        with pytest.raises(ServiceCursorError):
+            service.next_page(cursor="garbage")
+        with pytest.raises(QueryError):
+            service.next_page()  # neither id nor cursor
+
+    def test_stats_document_merges_all_layers(self):
+        service = QueryService()
+        service.enumerate(paper_query())
+        stats = service.stats()
+        for key in (
+            "queries",
+            "pages_served",
+            "result_cache_hits",
+            "cursor_resumes",
+            "graph_loads",
+            "plan_hits",
+            "sessions_live",
+        ):
+            assert key in stats

@@ -1,0 +1,194 @@
+"""End-to-end tests of the HTTP/JSON daemon and the ``query`` CLI family.
+
+The daemon runs on an ephemeral port inside a background thread (its own
+asyncio loop); the client side goes through the real ``repro-mbp query``
+code paths — the same request helpers, pagination loop and output
+formatting the CLI ships — so these tests double as the in-repo version
+of the CI service smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import io
+import json
+import threading
+
+import pytest
+
+from repro import paper_example_graph, write_edge_list
+from repro.cli import main as cli_main
+from repro.core import ITraversal
+from repro.service.http import ServiceHTTPServer
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """A live daemon on an ephemeral port; yields its base URL."""
+    server = ServiceHTTPServer(port=0)
+    started = threading.Event()
+    loop_holder = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder["loop"] = loop
+
+        async def boot():
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(boot())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.run_until_complete(server.aclose())
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10), "daemon failed to start"
+    yield f"http://127.0.0.1:{server.port}"
+    loop = loop_holder["loop"]
+    for task in asyncio.all_tasks(loop):
+        loop.call_soon_threadsafe(task.cancel)
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("graphs") / "paper.txt"
+    write_edge_list(paper_example_graph(), path)
+    return str(path)
+
+
+def http_json(server: str, method: str, path: str, payload=None):
+    import urllib.error
+    import urllib.request
+
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        server + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def expected_solutions():
+    solutions = ITraversal(paper_example_graph(), 1).enumerate()
+    return [[sorted(s.left), sorted(s.right)] for s in solutions]
+
+
+class TestDaemonProtocol:
+    def test_healthz_and_stats(self, daemon):
+        assert http_json(daemon, "GET", "/healthz") == (200, {"ok": True})
+        status, stats = http_json(daemon, "GET", "/v1/stats")
+        assert status == 200
+        assert "graph_loads" in stats and "sessions_live" in stats
+
+    def test_enumerate_route(self, daemon, graph_file):
+        status, response = http_json(
+            daemon, "POST", "/v1/enumerate",
+            {"query": {"graph": {"path": graph_file}, "k": 1}},
+        )
+        assert status == 200
+        assert response["solutions"] == expected_solutions()
+        assert response["status"]["truncated"] is False
+
+    def test_paginate_route_and_cursor_fallback(self, daemon, graph_file):
+        query = {"graph": {"path": graph_file}, "k": 1}
+        status, page = http_json(
+            daemon, "POST", "/v1/enumerate",
+            {"query": query, "paginate": True, "page_size": 4},
+        )
+        assert status == 200 and page["page_size"] == 4
+        collected = list(page["solutions"])
+        # Cancel the live session; the cursor must still finish the stream.
+        status, cancelled = http_json(
+            daemon, "POST", "/v1/cancel", {"session_id": page["session_id"]}
+        )
+        assert status == 200 and cancelled["cancelled"] is True
+        status, rest = http_json(
+            daemon, "POST", "/v1/paginate",
+            {"cursor": page["cursor"], "page_size": 1000},
+        )
+        assert status == 200
+        assert collected + rest["solutions"] == expected_solutions()
+
+    def test_error_statuses(self, daemon):
+        assert http_json(daemon, "GET", "/nope")[0] == 404
+        assert http_json(daemon, "POST", "/healthz", {})[0] == 405
+        assert http_json(daemon, "POST", "/v1/enumerate", {"query": {"k": 1}})[0] == 400
+        assert http_json(
+            daemon, "POST", "/v1/paginate", {"session_id": "gone"}
+        )[0] == 404
+        assert http_json(daemon, "POST", "/v1/paginate", {"cursor": "junk"})[0] == 400
+        assert http_json(daemon, "POST", "/v1/cancel", {})[0] == 400
+
+
+class TestQueryCLI:
+    def run_cli(self, capsys, *argv):
+        code = cli_main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out
+
+    def test_server_run_equals_library_run(self, daemon, graph_file, capsys):
+        code, out = self.run_cli(
+            capsys, "query", "run", "--input", graph_file, "--format", "json"
+        )
+        assert code == 0
+        library = json.loads(out)
+        code, out = self.run_cli(
+            capsys, "query", "run", "--input", graph_file,
+            "--server", daemon, "--page-size", "3", "--format", "json",
+        )
+        assert code == 0
+        service = json.loads(out)
+        assert service["solutions"] == library["solutions"]
+        assert service["num_solutions"] == 13
+
+    def test_table_and_csv_formats(self, daemon, graph_file, capsys):
+        code, out = self.run_cli(
+            capsys, "query", "run", "--input", graph_file,
+            "--server", daemon, "--format", "table",
+        )
+        assert code == 0
+        assert out.count("L: [") == 13
+        assert "# solutions=13" in out
+        code, out = self.run_cli(
+            capsys, "query", "run", "--input", graph_file,
+            "--server", daemon, "--format", "csv",
+        )
+        assert code == 0
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows[0] == ["left", "right"]
+        assert len(rows) == 14  # header + 13 solutions
+
+    def test_status_subcommand(self, daemon, capsys):
+        code, out = self.run_cli(capsys, "query", "status", "--server", daemon)
+        assert code == 0
+        assert "graph_loads" in json.loads(out)
+
+    def test_unreachable_server_is_a_clean_error(self, capsys, graph_file):
+        code = cli_main(
+            ["query", "run", "--input", graph_file,
+             "--server", "http://127.0.0.1:9", "--format", "json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_local_pagination_equals_one_shot(self, graph_file, capsys):
+        code, out = self.run_cli(
+            capsys, "query", "run", "--input", graph_file,
+            "--page-size", "2", "--format", "json",
+        )
+        assert code == 0
+        assert json.loads(out)["solutions"] == expected_solutions()
