@@ -1,0 +1,219 @@
+"""Solver-objective benchmark (the ISSUE 8 tentpole).
+
+Times the ``maximum`` and ``top-k`` solver objectives against a full
+enumeration of the same planted-block graphs, asserting on every row that
+the solvers return the *identical* winners the enumeration implies (sort
+all maximal k-biplexes by ``(-size, key)`` and take the prefix).  The
+planted configurations are left-narrow — a near-complete block spanning
+most of the small left side inside a wide, noisy right side — which is
+the regime where the incumbent bound bites: once the block is found,
+``bound - n_left`` exceeds the background solutions' right-side sizes and
+the dynamic θ/core prunes cut their subtrees instead of merely
+suppressing their reports.
+
+The full-size run additionally asserts the ISSUE 8 acceptance target: a
+wall-clock speedup of at least 1.5x over full enumeration for the
+``maximum`` objective *and* for ``top-k`` on at least one configuration.
+The speedup comes from bound pruning alone (no parallelism), so it is not
+gated on core count.
+
+``--emit-json BENCH_solvers.json`` writes a ``repro-bench-enum/1``
+snapshot (one run per graph config; the per-objective entries sit in the
+``preps`` slot) consumable by ``python -m repro.bench.compare``, which CI
+wires against the previous run's cached snapshot.
+
+Runnable standalone (``python benchmarks/bench_solvers.py``) or via
+pytest-benchmark.  Set ``REPRO_BENCH_TINY=1`` for smoke-test sizes (used
+by CI; the speedup target is skipped — tiny graphs finish in microseconds
+either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # standalone run: mirror conftest's path setup
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.core import ITraversal
+from repro.graph import planted_biplex_graph
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+SPEEDUP_TARGET = 1.5
+TOP_N = 5
+
+#: (n_left, n_right, block_left, block_right, k, background_edges, seed) —
+#: left-narrow planted blocks, the bound-pruning regime (see the module
+#: docstring).  Calibration on these seeds: maximum-mode speedups of
+#: roughly 7x / 400x / 2000x and a top-k speedup of ~5x on the first
+#: config, so the 1.5x target separates working subtree pruning from
+#: report-only suppression with a wide margin.
+SOLVER_BENCH_CONFIGS = (
+    (10, 24, 9, 10, 1, 60, 3),
+    (12, 22, 10, 9, 1, 55, 2),
+    (8, 28, 8, 12, 1, 70, 5),
+)
+TINY_SOLVER_CONFIGS = ((6, 12, 5, 6, 1, 20, 3),)
+
+
+def _ranked(solutions):
+    """Canonical solver order: size descending, key ascending."""
+    return sorted(solutions, key=lambda s: (-s.size, s.key()))
+
+
+def run_solver_comparison(configs=None):
+    """One row per graph config: enumeration vs maximum vs top-k."""
+    if configs is None:
+        configs = TINY_SOLVER_CONFIGS if TINY else SOLVER_BENCH_CONFIGS
+    rows = []
+    for n_left, n_right, block_left, block_right, k, background, seed in configs:
+        graph = planted_biplex_graph(
+            n_left,
+            n_right,
+            block_left,
+            block_right,
+            k,
+            background_edges=background,
+            seed=seed,
+        )
+        label = f"{n_left}x{n_right} b{block_left}x{block_right} k={k} bg={background}"
+
+        full = ITraversal(graph, k)
+        start = time.perf_counter()
+        all_solutions = list(full.enumerate())
+        full_seconds = time.perf_counter() - start
+        expected = [(s.size, s.key()) for s in _ranked(all_solutions)]
+        assert len(expected) >= TOP_N, f"{label}: too few solutions to rank"
+
+        solver = ITraversal(graph, k, mode="maximum")
+        start = time.perf_counter()
+        winner = [(s.size, s.key()) for s in solver.enumerate()]
+        maximum_seconds = time.perf_counter() - start
+        assert winner == expected[:1], (
+            f"maximum objective disagrees with the enumeration winner on {label}"
+        )
+        assert solver.stats.best_size == expected[0][0]
+        assert solver.stats.num_pruned_by_bound > 0, (
+            f"bound pruning never fired in maximum mode on {label}"
+        )
+
+        topk = ITraversal(graph, k, mode="top-k", top=TOP_N)
+        start = time.perf_counter()
+        ranked = [(s.size, s.key()) for s in topk.enumerate()]
+        topk_seconds = time.perf_counter() - start
+        assert ranked == expected[:TOP_N], (
+            f"top-{TOP_N} objective disagrees with the enumeration ranking on {label}"
+        )
+
+        rows.append(
+            {
+                "config": label,
+                "num_solutions": len(all_solutions),
+                "best_size": expected[0][0],
+                "enumerate_seconds": full_seconds,
+                "maximum_seconds": maximum_seconds,
+                "topk_seconds": topk_seconds,
+                "maximum_speedup": (
+                    full_seconds / maximum_seconds if maximum_seconds else float("inf")
+                ),
+                "topk_speedup": (
+                    full_seconds / topk_seconds if topk_seconds else float("inf")
+                ),
+                "pruned_by_bound": solver.stats.num_pruned_by_bound,
+            }
+        )
+    return rows
+
+
+def _assert_speedup_target(rows):
+    """The ISSUE 8 acceptance target, checked on the full-size run."""
+    maximum_speedups = [row["maximum_speedup"] for row in rows]
+    topk_speedups = [row["topk_speedup"] for row in rows]
+    assert max(maximum_speedups) >= SPEEDUP_TARGET, (
+        f"maximum objective must reach >= {SPEEDUP_TARGET}x over full "
+        f"enumeration on at least one planted configuration, got "
+        f"{maximum_speedups}"
+    )
+    assert max(topk_speedups) >= SPEEDUP_TARGET, (
+        f"top-{TOP_N} objective must reach >= {SPEEDUP_TARGET}x over full "
+        f"enumeration on at least one planted configuration, got "
+        f"{topk_speedups}"
+    )
+
+
+def solver_snapshot(rows):
+    """``repro-bench-enum/1`` snapshot; objectives fill the preps slot."""
+    runs = []
+    for row in rows:
+        runs.append(
+            {
+                "config": row["config"],
+                "preps": {
+                    "enumerate": {
+                        "seconds": row["enumerate_seconds"],
+                        "num_solutions": row["num_solutions"],
+                        "truncated": False,
+                    },
+                    "maximum": {
+                        "seconds": row["maximum_seconds"],
+                        "num_solutions": 1,
+                        "truncated": False,
+                    },
+                    f"top-{TOP_N}": {
+                        "seconds": row["topk_seconds"],
+                        "num_solutions": TOP_N,
+                        "truncated": False,
+                    },
+                },
+            }
+        )
+    return {"schema": "repro-bench-enum/1", "runs": runs}
+
+
+def test_solver_objectives(benchmark):
+    from conftest import run_once
+
+    from repro.bench.reporting import print_table
+
+    rows = run_once(benchmark, run_solver_comparison)
+    print()
+    print_table(rows, title="Solver objectives: full enumeration vs maximum/top-k")
+    assert all(row["num_solutions"] > 0 for row in rows)
+    if not TINY:
+        _assert_speedup_target(rows)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.bench.reporting import print_table
+
+    parser = argparse.ArgumentParser(
+        description="benchmark the solver objectives against full enumeration"
+    )
+    parser.add_argument(
+        "--emit-json",
+        metavar="FILE",
+        default=None,
+        help="write a repro-bench-enum/1 snapshot to FILE ('-' for stdout)",
+    )
+    args = parser.parse_args()
+    table = run_solver_comparison()
+    print_table(table, title="Solver objectives: full enumeration vs maximum/top-k")
+    if TINY:
+        print("smoke mode: winner equality checked, speedup target skipped")
+    else:
+        _assert_speedup_target(table)
+    if args.emit_json:
+        payload = json.dumps(solver_snapshot(table), indent=2, sort_keys=True)
+        if args.emit_json == "-":
+            print(payload)
+        else:
+            with open(args.emit_json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.emit_json}")

@@ -47,6 +47,7 @@ from .analysis.datasets import ALL_DATASETS, load_dataset, table1_rows
 from .bench.experiments import EXPERIMENTS
 from .bench.reporting import format_table
 from .core.itraversal import ITraversal
+from .core.objective import resolve_objective
 from .core.verify import summarize_solutions
 from .graph.io import read_edge_list
 from .graph.packed import PackedBackendUnavailable
@@ -88,6 +89,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     enumerate_parser.add_argument("--theta", type=int, default=0, help="min size of both sides")
+    enumerate_parser.add_argument(
+        "--mode",
+        default=None,
+        help=(
+            "solver objective: 'enumerate' (default — every maximal "
+            "k-biplex), 'maximum' (the single largest, ties broken by "
+            "canonical order) or 'top-k' with --top N (the N largest by "
+            "size).  The solver modes use the incumbent size as an extra "
+            "pruning bound"
+        ),
+    )
+    enumerate_parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="how many solutions to keep in --mode top-k",
+    )
     enumerate_parser.add_argument("--max-results", type=int, default=None)
     enumerate_parser.add_argument("--time-limit", type=float, default=None, help="seconds")
     enumerate_parser.add_argument(
@@ -163,6 +182,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="candidate ordering for core+order prep: degeneracy, degree, gamma or auto",
     )
     run_parser.add_argument("--jobs", type=int, default=None)
+    run_parser.add_argument(
+        "--mode",
+        default=None,
+        help="solver objective: enumerate (default), maximum, or top-k with --top N",
+    )
+    run_parser.add_argument(
+        "--top", type=int, default=None, metavar="N", help="how many solutions for --mode top-k"
+    )
     run_parser.add_argument("--max-results", type=int, default=None)
     run_parser.add_argument("--time-limit", type=float, default=None, help="seconds")
     run_parser.add_argument(
@@ -208,11 +235,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     # only affects the subcommand that uses it, with a clean error message.
     # `--prep` deliberately has no argparse `choices`: resolving it here
     # funnels both the flag and the REPRO_PREP environment variable through
-    # the same validation and error message.
+    # the same validation and error message.  `--mode` / `--top` follow the
+    # same pattern via resolve_objective, shared with the query service.
     try:
         backend = args.backend if args.backend is not None else default_backend()
         jobs = resolve_jobs(args.jobs)
         prep = resolve_prep(args.prep)
+        mode, top = resolve_objective(args.mode, args.top)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -232,6 +261,8 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             backend=backend,
             jobs=jobs,
             prep=prep,
+            mode=mode,
+            top=top,
         )
     except PackedBackendUnavailable as error:
         # Defensive: conversions auto-select the array('Q') fallback when
@@ -251,7 +282,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
                 [sorted(solution.left), sorted(solution.right)] for solution in solutions
             ],
             "num_solutions": len(solutions),
-            "status": status_block(stats, plan),
+            "status": status_block(stats, plan, mode=mode),
         }
         if args.quiet:
             document.pop("solutions")
@@ -268,6 +299,11 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         f"max_right={summary['max_right']} links={stats.num_links} "
         f"elapsed={stats.elapsed_seconds:.3f}s truncated={stats.truncated}"
     )
+    if mode != "enumerate":
+        print(
+            f"# mode={mode} best_size={stats.best_size} "
+            f"pruned_by_bound={stats.num_pruned_by_bound}"
+        )
     print(
         f"# prep={plan.mode} removed_left={plan.removed_left} "
         f"removed_right={plan.removed_right} removed_edges={plan.removed_edges}"
@@ -337,6 +373,8 @@ def _query_document(args: argparse.Namespace) -> dict:
         "jobs": args.jobs,
         "max_results": args.max_results,
         "time_limit": args.time_limit,
+        "mode": args.mode,
+        "top": args.top,
     }
 
 
@@ -418,6 +456,12 @@ def _print_solutions(solutions, status, fmt: str) -> None:
         f"# solutions={len(solutions)} links={status['num_links']} "
         f"elapsed={status['elapsed_seconds']:.3f}s truncated={status['truncated']}"
     )
+    mode = status.get("mode")
+    if mode and mode != "enumerate":
+        print(
+            f"# mode={mode} best_size={status.get('best_size')} "
+            f"pruned_by_bound={status.get('num_pruned_by_bound')}"
+        )
     if prep:
         print(
             f"# prep={prep['mode']} order={prep['order_strategy']} "

@@ -23,6 +23,15 @@ from .enum_almost_sat import (
 )
 from .itraversal import ITraversal, enumerate_large_mbps, enumerate_mbps, itraversal_config
 from .large import LargeMBPEnumerator, filter_large
+from .objective import (
+    OBJECTIVES,
+    EnumerateAll,
+    MaximumSize,
+    Objective,
+    TopK,
+    make_objective,
+    resolve_objective,
+)
 from .session import CURSOR_SCHEMA, CursorError, EnumerationSession
 from .solution_graph import SolutionGraph, build_solution_graph, count_links
 from .traversal import ReverseSearchEngine, TraversalConfig, TraversalStats, run_with_stats
@@ -60,6 +69,13 @@ __all__ = [
     "enumerate_large_mbps",
     "LargeMBPEnumerator",
     "filter_large",
+    "OBJECTIVES",
+    "Objective",
+    "EnumerateAll",
+    "MaximumSize",
+    "TopK",
+    "make_objective",
+    "resolve_objective",
     "CURSOR_SCHEMA",
     "CursorError",
     "EnumerationSession",

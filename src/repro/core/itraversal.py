@@ -32,6 +32,8 @@ def itraversal_config(
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
     prep: Optional[str] = None,
+    objective: str = "enumerate",
+    top: Optional[int] = None,
 ) -> TraversalConfig:
     """Build the :class:`TraversalConfig` of iTraversal or one of its ablations.
 
@@ -42,7 +44,10 @@ def itraversal_config(
     resolves via ``REPRO_JOBS`` (default 1 = serial), ``0`` means one
     worker per CPU core.  ``prep=None`` resolves via ``REPRO_PREP``
     (default ``"core"``, see :mod:`repro.prep`); ``"off"`` restores
-    raw-graph canonical-order traversal exactly.
+    raw-graph canonical-order traversal exactly.  ``objective`` / ``top``
+    select the solver objective (:mod:`repro.core.objective`):
+    ``"enumerate"`` (default), ``"maximum"``, or ``"top-k"`` with
+    ``top=N``.
     """
     from ..graph.protocol import default_backend
     from ..prep import resolve_prep
@@ -64,6 +69,8 @@ def itraversal_config(
         backend=backend,
         jobs=jobs,
         prep=prep,
+        objective=objective,
+        top=top,
     )
 
 
@@ -107,6 +114,13 @@ class ITraversal:
         in the original graph's vertex ids; the :attr:`prep` property
         exposes the plan (reduction sizes, orderings) of the last
         construction.
+    mode, top:
+        Solver objective (:mod:`repro.core.objective`).  The default
+        ``"enumerate"`` streams every maximal k-biplex; ``"maximum"``
+        makes :meth:`run` yield the single largest one (ties broken by
+        canonical key) and ``"top-k"`` with ``top=N`` the ``N`` largest
+        in ``(-size, key)`` order — both with the incumbent size bound
+        driving extra traversal pruning.
 
     Examples
     --------
@@ -138,6 +152,8 @@ class ITraversal:
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
         prep: Optional[str] = None,
+        mode: str = "enumerate",
+        top: Optional[int] = None,
     ) -> None:
         if variant not in self.VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; expected one of {sorted(self.VARIANTS)}")
@@ -165,6 +181,8 @@ class ITraversal:
             backend=backend,
             jobs=jobs,
             prep=prep,
+            objective=mode,
+            top=top,
         )
         self._engine = ReverseSearchEngine(working_graph, k, config)
 
@@ -244,10 +262,14 @@ def enumerate_mbps(
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
     prep: Optional[str] = None,
+    mode: str = "enumerate",
+    top: Optional[int] = None,
 ) -> Tuple[List[Biplex], TraversalStats]:
     """Enumerate maximal k-biplexes with iTraversal; the main library entry point.
 
-    Returns the list of solutions together with the run statistics.
+    Returns the list of solutions together with the run statistics.  In
+    the solver modes (``mode="maximum"`` / ``mode="top-k", top=N``) the
+    list is the refined answer set instead of the full enumeration.
     """
     algorithm = ITraversal(
         graph,
@@ -258,6 +280,8 @@ def enumerate_mbps(
         backend=backend,
         jobs=jobs,
         prep=prep,
+        mode=mode,
+        top=top,
     )
     solutions = algorithm.enumerate()
     return solutions, algorithm.stats

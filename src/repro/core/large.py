@@ -69,6 +69,13 @@ class LargeMBPEnumerator:
         per-worker statistics — including the truncation flags — are merged
         back into :attr:`stats`, so ``stats.truncated`` is reliable for
         parallel runs too.
+    mode, top:
+        Solver objective (:mod:`repro.core.objective`): ``"maximum"`` /
+        ``"top-k", top=N`` return the largest large MBP(s) instead of all
+        of them.  The θ thresholds and the incumbent size bound flow
+        through the same per-side pruning machinery in the engine — the
+        bound simply tightens the effective thresholds as solutions
+        arrive.
     """
 
     def __init__(
@@ -85,6 +92,8 @@ class LargeMBPEnumerator:
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
         prep: Optional[str] = None,
+        mode: str = "enumerate",
+        top: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -105,6 +114,8 @@ class LargeMBPEnumerator:
             backend=backend,
             jobs=jobs,
             prep=prep,
+            mode=mode,
+            top=top,
         )
 
     @property

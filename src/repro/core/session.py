@@ -21,9 +21,31 @@ with:
   ``LargeMBPEnumerator`` / ``enumerate_mbps``) now run: their ``run()`` is
   a fresh throwaway session per call, so their public APIs are unchanged.
 
+Solver objectives
+-----------------
+When the config carries a non-trivial objective (``maximum`` / ``top-k``),
+the engine still *yields* every observed candidate — those suspension
+points are what budgets and cursors hang off — but the session interposes
+:meth:`_solver_stream`: it drains the raw traversal (up to any budget
+caps) and then emits :meth:`~repro.core.objective.Objective.results`, the
+refined answer set, through the usual translation layer.  Solver cursors
+carry the objective's incumbent state next to the DFS frontier, and
+resume in one of two regimes:
+
+* **interrupted mid-traversal** — a budget cap stopped the leg (the token
+  still holds DFS frames, or records a parallel run as truncated).  The
+  answers emitted so far were provisional, so the resumed leg finishes
+  the traversal and re-emits the **full** refined result set, ignoring
+  the token's ``emitted`` count (the answer may legitimately change as
+  the resumed leg refines it).
+* **traversal complete** — the leg drained and the cursor merely
+  paginates the answer list.  The refined set is final and deterministic,
+  so resume skips the ``emitted`` prefix exactly like an enumerate
+  cursor.  This is what keeps cursor-only pagination loops terminating.
+
 Cursor tokens
 -------------
-A token is ``base64url(zlib(json))`` of a ``repro-cursor/1`` document (the
+A token is ``base64url(zlib(json))`` of a ``repro-cursor/2`` document (the
 exact schema is documented in ``ARCHITECTURE.md``).  Two cursor modes:
 
 ``frontier``
@@ -70,8 +92,11 @@ from typing import Iterator, List, Optional
 from .biplex import Biplex
 from .traversal import ReverseSearchEngine, TraversalConfig, TraversalStats
 
-#: Schema tag of the cursor token document.
-CURSOR_SCHEMA = "repro-cursor/1"
+#: Schema tag of the cursor token document.  ``/2`` added the objective
+#: (mode + top) to the fingerprint and the incumbent state to frontier
+#: payloads; ``/1`` tokens are rejected rather than resumed with a
+#: silently-different meaning.
+CURSOR_SCHEMA = "repro-cursor/2"
 
 
 class CursorError(ValueError):
@@ -215,6 +240,24 @@ class EnumerationSession:
             # stats) at garbage-collection time.
             source.close()
 
+    def _solver_stream(self, raw: Iterator[Biplex]) -> Iterator[Biplex]:
+        """Drain a solver-mode traversal, then emit the refined answer set.
+
+        The raw stream stops on its own at exhaustion *or* at a budget cap
+        (``max_results`` / ``time_limit``); either way what comes out of
+        the session is the objective's current results — complete in the
+        first case, best-so-far in the second (a cursor can then resume
+        the refinement).
+        """
+        objective = self.engine.objective
+        try:
+            for _ in raw:
+                pass
+            for solution in objective.results():
+                yield solution
+        finally:
+            raw.close()
+
     def _ensure_source(self) -> Iterator[Biplex]:
         if self._source is None:
             if self._jobs > 1:
@@ -223,6 +266,8 @@ class EnumerationSession:
                 raw: Iterator[Biplex] = run_parallel(self.engine)
             else:
                 raw = self.engine._run_serial()
+            if not self.engine.objective.trivial:
+                raw = self._solver_stream(raw)
             self._source = self._translated(raw)
             self._started = True
         return self._source
@@ -294,6 +339,8 @@ class EnumerationSession:
             config.output_order,
             config.local_enumeration,
             config.prep,
+            config.objective,
+            config.top,
             asdict(config.enum_config),
             plan.left_order,
             plan.right_order,
@@ -320,7 +367,12 @@ class EnumerationSession:
             "mode": self._mode,
             "fingerprint": self.fingerprint(),
             "emitted": self._emitted,
-            "exhausted": self._exhausted,
+            # A budget-capped run that drained its stream is *finished*
+            # from this session's point of view (`exhausted` frees service
+            # sessions) but not from the cursor's: the traversal stopped at
+            # a cap, so the token must stay resumable for the remainder.
+            "exhausted": self._exhausted and not self.engine.stats.truncated,
+            "truncated": bool(self.engine.stats.truncated),
         }
         if self._mode == "frontier":
             state = self.engine.frontier_state() if self._started else None
@@ -346,6 +398,7 @@ class EnumerationSession:
                         _solution_to_lists(solution) for solution in state["visited"]
                     ],
                     "stats": asdict(state["stats"]),
+                    "objective": self.engine.objective.state(),
                 }
         return _encode_token(payload)
 
@@ -380,6 +433,7 @@ class EnumerationSession:
                 f"configuration resolves to {session._mode!r} (jobs mismatch); "
                 "resume with a matching jobs setting"
             )
+        solver = not session.engine.objective.trivial
         if data.get("exhausted"):
             session._emitted = int(data.get("emitted", 0))
             session._exhausted = True
@@ -387,6 +441,11 @@ class EnumerationSession:
             session._started = True
             return session
         if mode == "offset":
+            if solver and data.get("truncated"):
+                # The capped leg's partial answers need not be a prefix of
+                # the re-run's refined set; re-emit it in full (see the
+                # module docstring).
+                return session
             skip = int(data.get("emitted", 0))
             source = session._ensure_source()
             consumed = sum(1 for _ in islice(source, skip))
@@ -409,8 +468,25 @@ class EnumerationSession:
             _solution_from_lists(pair): frozenset() for pair in frontier["visited"]
         }
         stats = TraversalStats(**frontier["stats"])
+        if solver:
+            session.engine.objective.load_state(frontier.get("objective"))
         raw = session.engine.resume_serial(frames, visited, stats)
+        if solver:
+            raw = session._solver_stream(raw)
         session._source = session._translated(raw)
         session._started = True
-        session._emitted = int(data.get("emitted", 0))
+        if solver and frames:
+            # Interrupted mid-traversal: re-emit the full refined set once
+            # the resumed leg settles (see the module docstring); the
+            # token's emitted count does not carry over.
+            session._emitted = 0
+        elif solver:
+            # Traversal complete — the cursor paginates a final answer
+            # list; skip the prefix the client already consumed.
+            skip = int(data.get("emitted", 0))
+            consumed = sum(1 for _ in islice(session._source, skip))
+            if consumed < skip:
+                session._exhausted = True
+        else:
+            session._emitted = int(data.get("emitted", 0))
         return session

@@ -54,6 +54,9 @@ def _merge_worker_stats(merged: TraversalStats, data: dict) -> None:
     merged.num_almost_sat_graphs += data["num_almost_sat_graphs"]
     merged.num_local_solutions += data["num_local_solutions"]
     merged.num_reexplorations += data["num_reexplorations"]
+    merged.num_pruned_by_bound += data["num_pruned_by_bound"]
+    if data["best_size"] > merged.best_size:
+        merged.best_size = data["best_size"]
     merged.hit_result_limit |= data["hit_result_limit"]
     merged.hit_time_limit |= data["hit_time_limit"]
 
@@ -124,6 +127,21 @@ def run_parallel(engine) -> Iterator[Biplex]:
     cancel = ctx.Event()
     task_queue = ctx.Queue()
     result_queue = ctx.Queue()
+    # Solver modes gossip the incumbent size through one shared cell: the
+    # coordinator (which observes every unique arrival) max-merges into it,
+    # the workers read it into their pruning bound (see worker._SharedBound).
+    solver = not engine.objective.trivial
+    bound_value = ctx.Value("q", 0) if solver else None
+
+    def publish_bound() -> None:
+        bound = engine.objective.prune_below()
+        if bound_value is None or not bound:
+            return
+        with bound_value.get_lock():
+            raw = bound_value.get_obj()
+            if bound > raw.value:
+                raw.value = bound
+
     worker_count = min(jobs, len(shards))
     for index in range(len(shards)):
         task_queue.put(index)
@@ -143,12 +161,16 @@ def run_parallel(engine) -> Iterator[Biplex]:
                 result_queue,
                 cancel,
                 deadline,
+                bound_value,
             ),
             daemon=True,
         )
         for worker_id in range(worker_count)
     ]
 
+    # Fresh incumbent per run, exactly like _run_serial does for the serial
+    # path — a previous run's bound must not pre-prune this one.
+    engine.objective.reset()
     merged = TraversalStats(num_solutions=1, num_shards=len(shards))
     seen = {root}
     ordered = config.parallel_order == "sorted"
@@ -173,6 +195,10 @@ def run_parallel(engine) -> Iterator[Biplex]:
             stop = True
         elif engine._passes_size_filter(root):
             arrived += 1
+            if root.size > merged.best_size:
+                merged.best_size = root.size
+            if solver and engine.objective.observe(root):
+                publish_bound()
             if cap_reached():
                 merged.hit_result_limit = True
                 stop = True
@@ -216,6 +242,13 @@ def run_parallel(engine) -> Iterator[Biplex]:
                         continue
                     seen.add(solution)
                     arrived += 1
+                    if solution.size > merged.best_size:
+                        merged.best_size = solution.size
+                    if solver and engine.objective.observe(solution):
+                        # Workers gossip through their own engines already;
+                        # the coordinator's merged view catches incumbents
+                        # a worker found right before exiting.
+                        publish_bound()
                     if cap_reached():
                         merged.hit_result_limit = True
                         stop = True

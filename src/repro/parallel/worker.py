@@ -49,6 +49,41 @@ class _ThrottledCancel:
         return self._event.is_set()
 
 
+class _SharedBound:
+    """Cross-process incumbent size bound (solver-mode gossip).
+
+    The engine consults :meth:`read` on its hot pruning paths, so the
+    shared ``multiprocessing.Value`` is only touched every ``interval``
+    probes and the last-seen bound is served in between — the bound is
+    monotone, so a stale read only means pruning a little less, never
+    wrongly.  :meth:`publish` max-merges immediately: a worker's improved
+    incumbent is exactly what lets the *other* workers prune.
+    """
+
+    __slots__ = ("_value", "_interval", "_tick", "_cached")
+
+    def __init__(self, value, interval: int = 32) -> None:
+        self._value = value
+        self._interval = interval
+        self._tick = 0
+        self._cached = value.value
+
+    def read(self) -> int:
+        self._tick += 1
+        if self._tick % self._interval == 0:
+            self._cached = self._value.value
+        return self._cached
+
+    def publish(self, bound: int) -> None:
+        if bound <= self._cached:
+            return
+        self._cached = bound
+        with self._value.get_lock():
+            raw = self._value.get_obj()
+            if bound > raw.value:
+                raw.value = bound
+
+
 def _accumulate(totals: TraversalStats, shard_stats: TraversalStats) -> None:
     """Fold one shard's counters into the worker's running totals."""
     totals.num_solutions += shard_stats.num_solutions
@@ -57,6 +92,9 @@ def _accumulate(totals: TraversalStats, shard_stats: TraversalStats) -> None:
     totals.num_almost_sat_graphs += shard_stats.num_almost_sat_graphs
     totals.num_local_solutions += shard_stats.num_local_solutions
     totals.num_reexplorations += shard_stats.num_reexplorations
+    totals.num_pruned_by_bound += shard_stats.num_pruned_by_bound
+    if shard_stats.best_size > totals.best_size:
+        totals.best_size = shard_stats.best_size
     totals.elapsed_seconds += shard_stats.elapsed_seconds
     totals.hit_result_limit |= shard_stats.hit_result_limit
     totals.hit_time_limit |= shard_stats.hit_time_limit
@@ -73,6 +111,7 @@ def worker_main(
     result_queue,
     cancel_event,
     deadline,
+    bound_value=None,
 ) -> None:
     """Pull shard indices until the sentinel, streaming solutions back.
 
@@ -80,12 +119,18 @@ def worker_main(
     ``max_results`` — the global cap is enforced cooperatively, a per-shard
     cap could starve the merged unique count).  ``deadline`` is an absolute
     ``time.time()`` instant shared by every worker; each shard runs with
-    whatever budget remains of it.
+    whatever budget remains of it.  ``bound_value`` (solver modes only) is
+    the shared incumbent-size cell of the gossip channel; the worker's
+    objective state deliberately persists across its shards — unlike the
+    visited map, an incumbent carried over can only tighten pruning, never
+    change the answer.
     """
     totals = TraversalStats()
     try:
         engine = ReverseSearchEngine(graph, k, config)
         engine._cancel = _ThrottledCancel(cancel_event)
+        if bound_value is not None:
+            engine._bound_channel = _SharedBound(bound_value)
         # Inherited exclusion prefixes keep the shards nearly disjoint; the
         # engine's visited-map re-exploration rule repairs the over-pruning
         # they cause (see ReverseSearchEngine.__init__).  Requested — not

@@ -34,6 +34,7 @@ from .plan import (
 from .reduce import (
     Reduction,
     bitruss_support_bound,
+    bound_core_sets,
     reduce_for_thresholds,
     threshold_core_bounds,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "resolve_order_strategy",
     "resolve_prep",
     "Reduction",
+    "bound_core_sets",
     "reduce_for_thresholds",
     "threshold_core_bounds",
     "bitruss_support_bound",

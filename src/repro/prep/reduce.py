@@ -37,9 +37,9 @@ its input (``induced_subgraph_with_mapping`` preserves the backend) plus
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from ..graph.cores import alpha_beta_core_subgraph
+from ..graph.cores import alpha_beta_core, alpha_beta_core_subgraph
 
 
 def threshold_core_bounds(k: int, theta_left: int, theta_right: int) -> Tuple[int, int]:
@@ -69,6 +69,50 @@ def bitruss_support_bound(k: int, theta_left: int, theta_right: int) -> int:
     if b > 0 and a - k > 0:
         bound = max(bound, b * (a - k))
     return bound
+
+
+def bound_core_sets(
+    graph,
+    k: int,
+    bound: int,
+    theta_left: int = 0,
+    theta_right: int = 0,
+) -> Tuple[Set[int], Set[int]]:
+    """Survivor sets of the *incumbent-bound* re-reduction (no compaction).
+
+    Mid-run, once a solver objective holds a size lower bound ``L``
+    (= ``bound``), any still-useful k-biplex ``H`` satisfies
+    ``|L_H| + |R_H| >= L`` on top of the per-side thresholds — so with
+    ``s_l`` / ``s_r`` surviving vertices per side it also satisfies
+    ``|R_H| >= L - s_l`` and ``|L_H| >= L - s_r``.  Those implied
+    thresholds feed :func:`threshold_core_bounds` (the usual
+    ``alpha = max(θ_R - k, 0)`` swap), the (α, β)-core peel shrinks the
+    sides, the implied thresholds rise, and the loop repeats **to the
+    fixpoint**.  Every qualifying biplex survives each round by the
+    classic core argument, so it survives the fixpoint.
+
+    Returns the surviving ``(left, right)`` vertex sets in the *input
+    graph's* id space — deliberately uncompacted, because the engine uses
+    them as membership oracles for subtree upper bounds
+    (``|core_left| + |R ∩ core_right|``), not as a new traversal graph.
+    """
+    survivors_left = graph.n_left
+    survivors_right = graph.n_right
+    left: Set[int] = set(graph.left_vertices())
+    right: Set[int] = set(graph.right_vertices())
+    while True:
+        implied_left = max(theta_left, bound - survivors_right)
+        implied_right = max(theta_right, bound - survivors_left)
+        alpha, beta = threshold_core_bounds(k, implied_left, implied_right)
+        if alpha == 0 and beta == 0:
+            return left, right
+        left, right = alpha_beta_core(graph, alpha, beta)
+        if len(left) == survivors_left and len(right) == survivors_right:
+            return left, right
+        survivors_left = len(left)
+        survivors_right = len(right)
+        if not survivors_left or not survivors_right:
+            return left, right
 
 
 @dataclass

@@ -21,7 +21,9 @@ A query is a JSON-shaped dict::
      "backend": null, "prep": null,  # null → REPRO_* defaults
      "order_strategy": null,         # null → REPRO_ORDER default
      "jobs": null,                   # null → REPRO_JOBS default
-     "max_results": null, "time_limit": null}
+     "max_results": null, "time_limit": null,
+     "mode": "enumerate",            # | "maximum" | "top-k" (with "top": N)
+     "top": null}
 
 Normalization resolves every ``null`` against the environment defaults,
 so the normalized document is self-contained: it is the result-cache key,
@@ -57,6 +59,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.itraversal import ITraversal, itraversal_config
+from ..core.objective import resolve_objective
 from ..core.session import CursorError, EnumerationSession
 from ..graph.bipartite import BipartiteGraph
 from ..graph.io import read_edge_list
@@ -183,6 +186,8 @@ class QueryService:
             "jobs",
             "max_results",
             "time_limit",
+            "mode",
+            "top",
         }
         if unknown:
             raise QueryError(f"unknown query fields: {sorted(unknown)}")
@@ -212,6 +217,7 @@ class QueryService:
                 else None
             )
             jobs = resolve_jobs(query.get("jobs"))
+            mode, top = resolve_objective(query.get("mode"), query.get("top"))
         except ValueError as error:
             raise QueryError(str(error)) from None
         max_results = query.get("max_results")
@@ -236,6 +242,11 @@ class QueryService:
             "jobs": jobs,
             "max_results": self.budgets.clamp_max_results(max_results),
             "time_limit": self.budgets.clamp_time_limit(time_limit),
+            # The objective is part of the canonical form on purpose: it is
+            # the result-cache key and the plan key, so a maximum answer can
+            # never be served for an enumerate query (or vice versa).
+            "mode": mode,
+            "top": top,
         }
 
     @staticmethod
@@ -339,6 +350,7 @@ class QueryService:
             normalized["theta_left"],
             normalized["theta_right"],
             order_strategy=normalized["order_strategy"],
+            mode=normalized.get("mode", "enumerate"),
         )
 
     def _config_for(self, normalized: dict):
@@ -353,6 +365,9 @@ class QueryService:
             backend=normalized["backend"],
             jobs=normalized["jobs"],
             prep=normalized["prep"],
+            # .get for cursors minted before the objective fields existed.
+            objective=normalized.get("mode", "enumerate"),
+            top=normalized.get("top"),
         )
 
     def _open(self, normalized: dict) -> EnumerationSession:
@@ -384,7 +399,9 @@ class QueryService:
         response = {
             "solutions": solutions,
             "num_solutions": len(solutions),
-            "status": status_block(session.stats, session.prep),
+            "status": status_block(
+                session.stats, session.prep, mode=normalized.get("mode", "enumerate")
+            ),
             "cached": False,
         }
         # Time-limit truncation is non-deterministic — never serve it to a
@@ -485,7 +502,11 @@ class QueryService:
             "exhausted": exhausted,
             "session_id": None if exhausted else record.session_id,
             "cursor": token,
-            "status": status_block(session.stats, session.prep),
+            "status": status_block(
+                session.stats,
+                session.prep,
+                mode=record.query.get("mode", "enumerate"),
+            ),
         }
 
     # ------------------------------------------------------------------ #

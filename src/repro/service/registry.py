@@ -108,14 +108,21 @@ class HotGraphRegistry:
         theta_left: int,
         theta_right: int,
         order_strategy: Optional[str] = None,
+        mode: str = "enumerate",
     ):
         """The prepared :class:`~repro.prep.plan.PrepPlan` for one parameterization.
 
         Builds (backend conversion + reduction + ordering) on a miss; a hit
         skips all three — that is the "hot graph" fast path the acceptance
         test pins via :attr:`plan_hits`.
+
+        ``mode`` (the solver objective) is part of the key even though the
+        prep pipeline itself is objective-blind today: a plan cached for an
+        ``enumerate`` query must never alias a solver query's once
+        bound-aware preparation differentiates them, and the cache contract
+        should not silently change when that lands.
         """
-        plan_key = (key, backend, k, prep, theta_left, theta_right, order_strategy)
+        plan_key = (key, backend, k, prep, theta_left, theta_right, order_strategy, mode)
         with self._lock:
             plan = self._plans.get(plan_key)
             if plan is not None:
