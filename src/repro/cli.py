@@ -147,6 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "service returns"
         ),
     )
+    enumerate_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a phase trace (load → plan → traverse → serialize, "
+            "plus per-shard worker spans under --jobs) and include it in "
+            "the --json document; a no-op when REPRO_OBS is off"
+        ),
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -213,9 +222,36 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("table", "csv", "json"),
         help="output format (default table)",
     )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "request a phase trace from the service and include it in "
+            "--format json output; a no-op when the service's REPRO_OBS "
+            "is off"
+        ),
+    )
 
     status_parser = query_sub.add_parser("status", help="print daemon statistics")
     status_parser.add_argument("--server", required=True, metavar="URL")
+
+    stats_parser = query_sub.add_parser(
+        "stats", help="scrape a daemon's /v1/metrics snapshot"
+    )
+    stats_parser.add_argument("--server", required=True, metavar="URL")
+    stats_parser.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "text"),
+        help="snapshot rendering (default json; text = one series per line)",
+    )
+    stats_parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-scrape every SECONDS until interrupted",
+    )
 
     cancel_parser = query_sub.add_parser("cancel", help="cancel a live daemon session")
     cancel_parser.add_argument("session_id")
@@ -245,33 +281,42 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if args.dataset:
-        graph = load_dataset(args.dataset)
-    else:
-        graph = read_edge_list(args.input)
-    try:
-        algorithm = ITraversal(
-            graph,
-            args.k,
-            variant=args.variant,
-            theta_left=args.theta,
-            theta_right=args.theta,
-            max_results=args.max_results,
-            time_limit=args.time_limit,
-            backend=backend,
-            jobs=jobs,
-            prep=prep,
-            mode=mode,
-            top=top,
-        )
-    except PackedBackendUnavailable as error:
-        # Defensive: conversions auto-select the array('Q') fallback when
-        # numpy is absent, so only a direct construction of the numpy
-        # classes can land here; other RuntimeErrors are real bugs and keep
-        # their traceback.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    solutions = algorithm.enumerate()
+    from .obs import PRUNE_SITE_FIELDS, get_registry
+    from .obs import span as obs_span
+    from .obs import trace as obs_trace
+
+    obs = get_registry()
+    with obs_trace("cli.enumerate", enabled=args.trace and obs.enabled) as active:
+        with obs_span("load"):
+            if args.dataset:
+                graph = load_dataset(args.dataset)
+            else:
+                graph = read_edge_list(args.input)
+        try:
+            with obs_span("plan"):
+                algorithm = ITraversal(
+                    graph,
+                    args.k,
+                    variant=args.variant,
+                    theta_left=args.theta,
+                    theta_right=args.theta,
+                    max_results=args.max_results,
+                    time_limit=args.time_limit,
+                    backend=backend,
+                    jobs=jobs,
+                    prep=prep,
+                    mode=mode,
+                    top=top,
+                )
+        except PackedBackendUnavailable as error:
+            # Defensive: conversions auto-select the array('Q') fallback when
+            # numpy is absent, so only a direct construction of the numpy
+            # classes can land here; other RuntimeErrors are real bugs and keep
+            # their traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        with obs_span("traverse"):
+            solutions = algorithm.enumerate()
     stats = algorithm.stats
     plan = algorithm.prep
     if args.json:
@@ -282,8 +327,21 @@ def _command_enumerate(args: argparse.Namespace) -> int:
                 [sorted(solution.left), sorted(solution.right)] for solution in solutions
             ],
             "num_solutions": len(solutions),
-            "status": status_block(stats, plan, mode=mode),
+            "status": status_block(
+                stats,
+                plan,
+                mode=mode,
+                obs={
+                    "enabled": obs.enabled,
+                    "pruned_by_site": {
+                        site: getattr(stats, field_name, 0)
+                        for site, field_name in PRUNE_SITE_FIELDS
+                    },
+                },
+            ),
         }
+        if active is not None:
+            document["trace"] = active.to_dict()
         if args.quiet:
             document.pop("solutions")
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -379,18 +437,31 @@ def _query_document(args: argparse.Namespace) -> dict:
 
 
 def _run_query(args: argparse.Namespace, query: dict):
-    """Run the query, paginating when asked; returns (solutions, status)."""
+    """Run the query, paginating when asked.
+
+    Returns ``(solutions, status, trace)`` — ``trace`` is the last
+    response's trace block (``None`` unless ``--trace`` was honoured).
+    """
+    want_trace = bool(getattr(args, "trace", False))
     if args.server is not None:
         if args.page_size is None:
             response = _server_request(
-                args.server, "POST", "/v1/enumerate", {"query": query}
+                args.server,
+                "POST",
+                "/v1/enumerate",
+                {"query": query, "trace": want_trace},
             )
-            return response["solutions"], response["status"]
+            return response["solutions"], response["status"], response.get("trace")
         response = _server_request(
             args.server,
             "POST",
             "/v1/enumerate",
-            {"query": query, "paginate": True, "page_size": args.page_size},
+            {
+                "query": query,
+                "paginate": True,
+                "page_size": args.page_size,
+                "trace": want_trace,
+            },
         )
         solutions = list(response["solutions"])
         while not response["exhausted"]:
@@ -402,17 +473,20 @@ def _run_query(args: argparse.Namespace, query: dict):
                     "session_id": response["session_id"],
                     "cursor": response["cursor"],
                     "page_size": args.page_size,
+                    "trace": want_trace,
                 },
             )
             solutions.extend(response["solutions"])
-        return solutions, response["status"]
+        return solutions, response["status"], response.get("trace")
 
     from .service import Budgets, QueryService
 
     service = QueryService(budgets=Budgets(max_page_size=10**9))
+    if want_trace:
+        query = {**query, "trace": True}
     if args.page_size is None:
         response = service.enumerate(query)
-        return response["solutions"], response["status"]
+        return response["solutions"], response["status"], response.get("trace")
     response = service.open_session(query, page_size=args.page_size)
     solutions = list(response["solutions"])
     while not response["exhausted"]:
@@ -420,24 +494,22 @@ def _run_query(args: argparse.Namespace, query: dict):
             session_id=response["session_id"],
             cursor=response["cursor"],
             page_size=args.page_size,
+            want_trace=want_trace,
         )
         solutions.extend(response["solutions"])
-    return solutions, response["status"]
+    return solutions, response["status"], response.get("trace")
 
 
-def _print_solutions(solutions, status, fmt: str) -> None:
+def _print_solutions(solutions, status, fmt: str, trace_block=None) -> None:
     if fmt == "json":
-        print(
-            json.dumps(
-                {
-                    "solutions": solutions,
-                    "num_solutions": len(solutions),
-                    "status": status,
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        document = {
+            "solutions": solutions,
+            "num_solutions": len(solutions),
+            "status": status,
+        }
+        if trace_block is not None:
+            document["trace"] = trace_block
+        print(json.dumps(document, indent=2, sort_keys=True))
         return
     if fmt == "csv":
         writer = csv.writer(sys.stdout)
@@ -470,11 +542,35 @@ def _print_solutions(solutions, status, fmt: str) -> None:
         )
 
 
+def _command_query_stats(args: argparse.Namespace) -> int:
+    """Scrape ``/v1/metrics`` once, or repeatedly under ``--watch``."""
+    import time as time_module
+
+    from .obs import render_snapshot_text
+
+    try:
+        while True:
+            snapshot = _server_request(args.server, "GET", "/v1/metrics")
+            if args.format == "text":
+                sys.stdout.write(render_snapshot_text(snapshot))
+                sys.stdout.flush()
+            else:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+            if args.watch is None:
+                return 0
+            time_module.sleep(max(args.watch, 0.05))
+            print(f"--- {time_module.strftime('%H:%M:%S')} ---")
+    except KeyboardInterrupt:
+        return 0
+
+
 def _command_query(args: argparse.Namespace) -> int:
     try:
         if args.query_command == "status":
             print(json.dumps(_server_request(args.server, "GET", "/v1/stats"), indent=2))
             return 0
+        if args.query_command == "stats":
+            return _command_query_stats(args)
         if args.query_command == "cancel":
             response = _server_request(
                 args.server, "POST", "/v1/cancel", {"session_id": args.session_id}
@@ -482,11 +578,11 @@ def _command_query(args: argparse.Namespace) -> int:
             print(json.dumps(response))
             return 0 if response.get("cancelled") else 1
         query = _query_document(args)
-        solutions, status = _run_query(args, query)
+        solutions, status, trace_block = _run_query(args, query)
     except (RuntimeError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    _print_solutions(solutions, status, args.format)
+    _print_solutions(solutions, status, args.format, trace_block=trace_block)
     return 0
 
 

@@ -239,6 +239,12 @@ class EnumerationSession:
             # generator underneath would only finalize (and stamp its
             # stats) at garbage-collection time.
             source.close()
+            # Stats are final once the source is closed; this is the one
+            # choke point every front end (library run(), CLI, service)
+            # streams through, so the metrics publication lives here.
+            from ..obs import publish_run_stats
+
+            publish_run_stats(self.engine.stats)
 
     def _solver_stream(self, raw: Iterator[Biplex]) -> Iterator[Biplex]:
         """Drain a solver-mode traversal, then emit the refined answer set.

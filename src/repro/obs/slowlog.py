@@ -1,0 +1,113 @@
+"""The slow-query / error log: structured JSON lines, stdlib only.
+
+Two kinds of records share one sink:
+
+* **slow queries** — a request whose wall time reached the threshold
+  (``REPRO_SLOW_QUERY_MS``; unset or empty disables slow-query records);
+* **errors** — server-side failures (the daemon's 500 path).  These are
+  written whenever a sink is configured, threshold or not: the client
+  gets a generic message plus the ``trace_id``, and this log is where the
+  operator exchanges that id for the traceback.
+
+Each record is one JSON object per line::
+
+    {"kind": "slow_query", "trace_id": "…", "route": "enumerate",
+     "elapsed_ms": 1234.5, "ts": 1700000000.0, ...}
+
+The sink is a file path (``REPRO_SLOW_QUERY_LOG``); without one, records
+go to ``stderr`` so a foreground daemon still surfaces them.  Writes are
+append-with-lock — multiple threads of one process interleave whole
+lines, never fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+#: Environment variable: slow-query threshold in milliseconds.
+SLOW_QUERY_MS_ENV_VAR = "REPRO_SLOW_QUERY_MS"
+
+#: Environment variable: path of the JSON-lines sink (default stderr).
+SLOW_QUERY_LOG_ENV_VAR = "REPRO_SLOW_QUERY_LOG"
+
+
+class SlowQueryLog:
+    """One JSON-lines sink for slow-query and error records."""
+
+    def __init__(
+        self,
+        threshold_ms: Optional[float] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_env(cls) -> "SlowQueryLog":
+        raw = os.environ.get(SLOW_QUERY_MS_ENV_VAR, "").strip()
+        threshold: Optional[float] = None
+        if raw:
+            try:
+                threshold = float(raw)
+            except ValueError:
+                threshold = None  # a bad threshold disables, never crashes
+        path = os.environ.get(SLOW_QUERY_LOG_ENV_VAR) or None
+        return cls(threshold_ms=threshold, path=path)
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self, route: str, elapsed_ms: float, trace_id: Optional[str], **fields: object
+    ) -> bool:
+        """Write a slow-query record when ``elapsed_ms`` meets the threshold.
+
+        Returns whether a record was written — the tests (and callers that
+        want to count) read it; production callers ignore it.
+        """
+        if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
+            return False
+        self._write(
+            {
+                "kind": "slow_query",
+                "route": route,
+                "elapsed_ms": round(elapsed_ms, 3),
+                "trace_id": trace_id,
+                "ts": time.time(),
+                **fields,
+            }
+        )
+        return True
+
+    def error(
+        self, route: str, trace_id: Optional[str], traceback_text: str, **fields: object
+    ) -> None:
+        """Write a server-side error record (always, threshold or not)."""
+        self._write(
+            {
+                "kind": "error",
+                "route": route,
+                "trace_id": trace_id,
+                "traceback": traceback_text,
+                "ts": time.time(),
+                **fields,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    def _write(self, document: dict) -> None:
+        line = json.dumps(document, sort_keys=True)
+        with self._lock:
+            if self.path is None:
+                print(line, file=sys.stderr, flush=True)
+                return
+            try:
+                with open(self.path, "a", encoding="utf-8") as sink:
+                    sink.write(line + "\n")
+            except OSError:
+                # Observability must never take the service down with it.
+                print(line, file=sys.stderr, flush=True)

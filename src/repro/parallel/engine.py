@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional
 
 from ..core.biplex import Biplex
 from ..core.traversal import TraversalStats
+from ..obs import current_trace, get_registry
 from .shards import shard_plan
 from .worker import worker_main
 
@@ -31,6 +32,17 @@ START_METHOD_ENV_VAR = "REPRO_PARALLEL_START_METHOD"
 
 _POLL_SECONDS = 0.05
 _JOIN_SECONDS = 2.0
+
+#: The engine's per-prune-site counters, summed across workers exactly
+#: like the other work counters (see TraversalStats).
+_PRUNE_SITE_FIELDS = (
+    "num_pruned_size_filter",
+    "num_pruned_subtree",
+    "num_pruned_anchor",
+    "num_pruned_exclusion",
+    "num_pruned_core_bound",
+    "num_pruned_right_extensible",
+)
 
 
 def _mp_context():
@@ -55,6 +67,10 @@ def _merge_worker_stats(merged: TraversalStats, data: dict) -> None:
     merged.num_local_solutions += data["num_local_solutions"]
     merged.num_reexplorations += data["num_reexplorations"]
     merged.num_pruned_by_bound += data["num_pruned_by_bound"]
+    for site_field in _PRUNE_SITE_FIELDS:
+        # .get: a "done" message from an older worker build lacks the
+        # per-site counters; treat absence as zero.
+        setattr(merged, site_field, getattr(merged, site_field) + data.get(site_field, 0))
     if data["best_size"] > merged.best_size:
         merged.best_size = data["best_size"]
     merged.hit_result_limit |= data["hit_result_limit"]
@@ -143,6 +159,16 @@ def run_parallel(engine) -> Iterator[Biplex]:
                 raw.value = bound
 
     worker_count = min(jobs, len(shards))
+    # The request trace (if any) propagates into the workers by id only;
+    # each worker ships its span subtree back in its "done" message and the
+    # coordinator grafts it under the active span (Trace.attach).
+    active_trace = current_trace()
+    trace_id = active_trace.trace_id if active_trace is not None else None
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("parallel_runs_total")
+        registry.inc("parallel_shards_total", value=len(shards))
+        registry.inc("parallel_workers_total", value=worker_count)
     for index in range(len(shards)):
         task_queue.put(index)
     for _ in range(worker_count):
@@ -162,6 +188,7 @@ def run_parallel(engine) -> Iterator[Biplex]:
                 cancel,
                 deadline,
                 bound_value,
+                trace_id,
             ),
             daemon=True,
         )
@@ -261,6 +288,8 @@ def run_parallel(engine) -> Iterator[Biplex]:
                         break
             elif kind == "done":
                 _merge_worker_stats(merged, message[2])
+                if active_trace is not None and len(message) > 3 and message[3]:
+                    active_trace.attach(message[3])
                 pending -= 1
             else:  # "error"
                 worker_error = message[2]
@@ -273,6 +302,11 @@ def run_parallel(engine) -> Iterator[Biplex]:
         cancel.set()
         _shutdown(workers, task_queue, result_queue, merged)
         merged.elapsed_seconds = time.perf_counter() - start_wall
+        if registry.enabled and merged.num_duplicate_solutions:
+            registry.inc(
+                "parallel_duplicates_total",
+                value=merged.num_duplicate_solutions,
+            )
         engine.stats = merged
         # Rough parity with the serial run, whose visited mapping holds
         # every discovered solution afterwards.

@@ -93,6 +93,12 @@ def _accumulate(totals: TraversalStats, shard_stats: TraversalStats) -> None:
     totals.num_local_solutions += shard_stats.num_local_solutions
     totals.num_reexplorations += shard_stats.num_reexplorations
     totals.num_pruned_by_bound += shard_stats.num_pruned_by_bound
+    totals.num_pruned_size_filter += shard_stats.num_pruned_size_filter
+    totals.num_pruned_subtree += shard_stats.num_pruned_subtree
+    totals.num_pruned_anchor += shard_stats.num_pruned_anchor
+    totals.num_pruned_exclusion += shard_stats.num_pruned_exclusion
+    totals.num_pruned_core_bound += shard_stats.num_pruned_core_bound
+    totals.num_pruned_right_extensible += shard_stats.num_pruned_right_extensible
     if shard_stats.best_size > totals.best_size:
         totals.best_size = shard_stats.best_size
     totals.elapsed_seconds += shard_stats.elapsed_seconds
@@ -112,6 +118,7 @@ def worker_main(
     cancel_event,
     deadline,
     bound_value=None,
+    trace_id=None,
 ) -> None:
     """Pull shard indices until the sentinel, streaming solutions back.
 
@@ -124,8 +131,15 @@ def worker_main(
     objective state deliberately persists across its shards — unlike the
     visited map, an incumbent carried over can only tighten pruning, never
     change the answer.
+
+    ``trace_id`` is the coordinator's request trace propagating through
+    the shard-dispatch path: when set, the worker records one span per
+    shard it ran and ships the serialized tree back in its ``"done"``
+    message, where the coordinator grafts it under the request's active
+    span (``Trace.attach``).  ``None`` (tracing off) records nothing.
     """
     totals = TraversalStats()
+    shard_spans = [] if trace_id is not None else None
     try:
         engine = ReverseSearchEngine(graph, k, config)
         engine._cancel = _ThrottledCancel(cancel_event)
@@ -165,6 +179,17 @@ def worker_main(
                         break
             finally:
                 _accumulate(totals, engine.stats)
+                totals.num_shards += 1
+                if shard_spans is not None:
+                    shard_spans.append(
+                        {
+                            "name": f"shard[{index}]",
+                            "elapsed_ms": round(
+                                engine.stats.elapsed_seconds * 1000.0, 3
+                            ),
+                            "anchor": [shard.side, shard.vertex],
+                        }
+                    )
                 if batch:
                     result_queue.put(("solutions", batch))
     except (KeyboardInterrupt, EOFError, BrokenPipeError):  # pragma: no cover
@@ -177,7 +202,16 @@ def worker_main(
         except Exception:  # pragma: no cover - queues already gone
             pass
         return
+    worker_span = None
+    if shard_spans is not None:
+        worker_span = {
+            "name": f"worker[{worker_id}]",
+            "elapsed_ms": round(totals.elapsed_seconds * 1000.0, 3),
+            "trace_id": trace_id,
+            "shards": totals.num_shards,
+            "children": shard_spans,
+        }
     try:
-        result_queue.put(("done", worker_id, asdict(totals)))
+        result_queue.put(("done", worker_id, asdict(totals), worker_span))
     except Exception:  # pragma: no cover - queues already gone
         pass

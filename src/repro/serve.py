@@ -13,6 +13,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .obs import SlowQueryLog
 from .service.http import ServiceHTTPServer
 from .service.query import Budgets, QueryService
 from .service.registry import (
@@ -76,10 +77,34 @@ def build_arg_parser(
         default=None,
         help="server-side ceiling on any query's time_limit (seconds)",
     )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help=(
+            "log queries at/over this wall time to the slow-query log "
+            "(default: the REPRO_SLOW_QUERY_MS environment variable; "
+            "unset = no slow-query records)"
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON-lines sink for slow-query and error records (default: "
+            "REPRO_SLOW_QUERY_LOG, falling back to stderr)"
+        ),
+    )
     return parser
 
 
 def service_from_args(args: argparse.Namespace) -> QueryService:
+    slow_log = SlowQueryLog.from_env()
+    if getattr(args, "slow_query_ms", None) is not None:
+        slow_log.threshold_ms = args.slow_query_ms
+    if getattr(args, "slow_query_log", None):
+        slow_log.path = args.slow_query_log
     return QueryService(
         registry=HotGraphRegistry(
             capacity=args.registry_capacity, plan_capacity=args.plan_capacity
@@ -90,6 +115,7 @@ def service_from_args(args: argparse.Namespace) -> QueryService:
         budgets=Budgets(
             max_results_cap=args.max_results_cap, time_limit_cap=args.time_limit_cap
         ),
+        slow_log=slow_log,
     )
 
 

@@ -8,13 +8,14 @@ synchronous CPU-bound Python, so handlers run it on a thread pool via
 session table's per-record locks serialize pagination of one session,
 distinct sessions and distinct queries proceed in parallel).
 
-Routes (all responses JSON):
+Routes (all responses JSON unless noted):
 
 ========  ==============  ====================================================
 method    path            body
 ========  ==============  ====================================================
 GET       /healthz        —
 GET       /v1/stats       —
+GET       /v1/metrics     — (``?format=text`` for the plain-text rendering)
 POST      /v1/enumerate   ``{"query": {...}}`` one-shot, or
                           ``{"query": {...}, "paginate": true,
                           "page_size": N}`` for the first page
@@ -22,17 +23,27 @@ POST      /v1/paginate    ``{"session_id": ..., "cursor": ..., "page_size": N}``
 POST      /v1/cancel      ``{"session_id": ...}``
 ========  ==============  ====================================================
 
-Errors map to ``{"error": message}`` with 400 (bad query / bad cursor),
-404 (expired session, unknown route), 405 or 500.
+A top-level ``"trace": true`` in a POST body (or inside the query
+document) opts the request into a ``trace`` block in the response.
+
+Errors map to ``{"error": message}`` with 400 (bad query / bad cursor /
+bad Content-Length), 404 (expired session, unknown route), 405 or 500.
+A 500 body is deliberately generic — ``{"error": "internal server
+error", "trace_id": ...}`` — with the traceback written server-side to
+the error log under that ``trace_id``, never into the response.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
+from urllib.parse import parse_qs
 
+from ..obs import get_registry, new_trace_id, render_snapshot_text
 from .query import QueryError, QueryService
 from .sessions import SessionExpired
 
@@ -111,14 +122,40 @@ class ServiceHTTPServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.perf_counter()
+        route = None
         try:
-            status, payload = await self._handle_request(reader)
-        except Exception as error:  # never let a handler kill the loop
-            status, payload = 500, {"error": f"internal error: {error}"}
-        body = json.dumps(payload).encode("utf-8")
+            status, payload, route = await self._handle_request(reader)
+        except Exception:  # never let a handler kill the loop
+            # The client gets a generic body plus a fresh trace_id; the
+            # traceback goes to the server-side error log under that id —
+            # exception text must not leak implementation detail.
+            trace_id = new_trace_id()
+            self.service.slow_log.error(
+                route or "http", trace_id, traceback.format_exc()
+            )
+            status, payload = 500, {
+                "error": "internal server error",
+                "trace_id": trace_id,
+            }
+        metrics = get_registry()
+        if metrics.enabled:
+            label = route or "unparsed"
+            metrics.inc("http_requests_total", path=label, status=status)
+            metrics.observe(
+                "http_request_ms",
+                (time.perf_counter() - started) * 1000.0,
+                path=label,
+            )
+        if isinstance(payload, str):  # /v1/metrics?format=text
+            body = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
@@ -136,30 +173,50 @@ class ServiceHTTPServer:
 
     async def _handle_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, str], Optional[str]]:
+        """One parsed + dispatched request: ``(status, payload, route)``.
+
+        ``route`` is the path without its query string (``None`` when the
+        request never parsed far enough to have one) — it is the metrics
+        label, kept low-cardinality on purpose.
+        """
         try:
             header_blob = await reader.readuntil(b"\r\n\r\n")
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return 400, {"error": "malformed HTTP request"}
+            return 400, {"error": "malformed HTTP request"}, None
         request_line, _, header_text = header_blob.decode(
             "latin-1"
         ).partition("\r\n")
         parts = request_line.split()
         if len(parts) != 3:
-            return 400, {"error": "malformed request line"}
-        method, path, _version = parts
+            return 400, {"error": "malformed request line"}, None
+        method, target, _version = parts
+        path, _, query_string = target.partition("?")
         headers = {}
         for line in header_text.split("\r\n"):
             name, sep, value = line.partition(":")
             if sep:
                 headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
+        length = 0
+        if "content-length" in headers:
+            # int() raising out of a raw header used to surface as a 500;
+            # a non-numeric, negative or empty Content-Length is the
+            # client's error — reject it as such.
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                return 400, {"error": "invalid Content-Length header"}, path
+            if length < 0:
+                return 400, {"error": "invalid Content-Length header"}, path
         if length > MAX_BODY_BYTES:
-            return 413, {"error": "request body too large"}
+            return 413, {"error": "request body too large"}, path
         body = await reader.readexactly(length) if length else b""
-        return await self._dispatch(method, path, body)
+        status, payload = await self._dispatch(method, path, query_string, body)
+        return status, payload, path
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, path: str, query_string: str, body: bytes
+    ) -> Tuple[int, Union[dict, str]]:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -168,6 +225,14 @@ class ServiceHTTPServer:
             if method != "GET":
                 return 405, {"error": "use GET"}
             return 200, self.service.stats()
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            snapshot = get_registry().snapshot()
+            params = parse_qs(query_string)
+            if params.get("format", [""])[-1] == "text":
+                return 200, render_snapshot_text(snapshot)
+            return 200, snapshot
         if path not in ("/v1/enumerate", "/v1/paginate", "/v1/cancel"):
             return 404, {"error": f"unknown route {path}"}
         if method != "POST":
@@ -178,10 +243,13 @@ class ServiceHTTPServer:
             return 400, {"error": f"request body is not JSON: {error}"}
         if not isinstance(document, dict):
             return 400, {"error": "request body must be a JSON object"}
+        want_trace = bool(document.get("trace"))
         loop = asyncio.get_running_loop()
         try:
             if path == "/v1/enumerate":
                 query = document.get("query")
+                if want_trace and isinstance(query, dict):
+                    query = {**query, "trace": True}
                 if document.get("paginate"):
                     result = await loop.run_in_executor(
                         self._executor,
@@ -200,6 +268,7 @@ class ServiceHTTPServer:
                         session_id=document.get("session_id"),
                         cursor=document.get("cursor"),
                         page_size=document.get("page_size"),
+                        want_trace=want_trace,
                     ),
                 )
             else:  # /v1/cancel

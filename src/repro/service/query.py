@@ -53,10 +53,11 @@ import copy
 import json
 import os
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.itraversal import ITraversal, itraversal_config
 from ..core.objective import resolve_objective
@@ -64,6 +65,7 @@ from ..core.session import CursorError, EnumerationSession
 from ..graph.bipartite import BipartiteGraph
 from ..graph.io import read_edge_list
 from ..graph.protocol import BACKENDS, default_backend
+from ..obs import SlowQueryLog, get_registry, new_trace_id, span, trace
 from ..parallel import resolve_jobs
 from ..prep import resolve_order_strategy, resolve_prep
 from .registry import HotGraphRegistry, inline_graph_key
@@ -141,6 +143,19 @@ def _serialize_solution(solution) -> List[List[int]]:
     return [sorted(solution.left), sorted(solution.right)]
 
 
+def _split_trace_flag(query) -> Tuple[object, bool]:
+    """Strip the per-request ``trace`` opt-in from a query document.
+
+    The flag never reaches :meth:`QueryService.normalize`: it is not part
+    of the canonical form (two queries differing only in tracing are the
+    same enumeration — same cache key, same cursor payload).
+    """
+    if isinstance(query, dict) and "trace" in query:
+        want = bool(query["trace"])
+        return {k: v for k, v in query.items() if k != "trace"}, want
+    return query, False
+
+
 class QueryService:
     """Registry + session table + budgets behind one query API."""
 
@@ -150,10 +165,12 @@ class QueryService:
         sessions: Optional[SessionTable] = None,
         budgets: Optional[Budgets] = None,
         result_cache_capacity: int = 32,
+        slow_log: Optional[SlowQueryLog] = None,
     ) -> None:
         self.registry = registry if registry is not None else HotGraphRegistry()
         self.sessions = sessions if sessions is not None else SessionTable()
         self.budgets = budgets if budgets is not None else Budgets()
+        self.slow_log = slow_log if slow_log is not None else SlowQueryLog.from_env()
         self._result_cache_capacity = max(0, result_cache_capacity)
         self._results: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.RLock()
@@ -161,6 +178,42 @@ class QueryService:
         self.pages_served = 0
         self.result_hits = 0
         self.cursor_resumes = 0
+
+    # ------------------------------------------------------------------ #
+    # Request observability
+    # ------------------------------------------------------------------ #
+    def _observed(
+        self, route: str, want_trace: bool, runner: Callable[[], dict]
+    ) -> dict:
+        """Run one request under the observability envelope.
+
+        Mints the ``trace_id``, activates the request trace when asked
+        (and the layer is enabled), records the route/outcome counter and
+        latency histogram, and feeds the slow-query log.  The ``trace_id``
+        and optional ``trace`` block are attached *after* ``runner``
+        returns — in particular after result caching, so a cached response
+        never embeds a stale trace.
+        """
+        metrics = get_registry()
+        tracing = want_trace and metrics.enabled
+        trace_id = new_trace_id()
+        started = time.perf_counter()
+        outcome = "error"
+        active = None
+        try:
+            with trace(f"query.{route}", trace_id=trace_id, enabled=tracing) as active:
+                response = runner()
+            outcome = "ok"
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            if metrics.enabled:
+                metrics.inc("service_requests_total", route=route, outcome=outcome)
+                metrics.observe("service_request_ms", elapsed_ms, route=route)
+            self.slow_log.record(route, elapsed_ms, trace_id)
+        response["trace_id"] = trace_id
+        if active is not None:
+            response["trace"] = active.to_dict()
+        return response
 
     # ------------------------------------------------------------------ #
     # Query normalization
@@ -380,7 +433,13 @@ class QueryService:
     # ------------------------------------------------------------------ #
     def enumerate(self, query: dict) -> dict:
         """Run a query to completion (under its budgets); cache the result."""
-        normalized = self.normalize(query)
+        query, want_trace = _split_trace_flag(query)
+        return self._observed("enumerate", want_trace, lambda: self._enumerate(query))
+
+    def _enumerate(self, query: dict) -> dict:
+        metrics = get_registry()
+        with span("parse"):
+            normalized = self.normalize(query)
         cache_key = json.dumps(normalized, separators=(",", ":"), sort_keys=True)
         with self._lock:
             self.queries += 1
@@ -390,12 +449,21 @@ class QueryService:
                 self.result_hits += 1
                 response = copy.deepcopy(cached)
                 response["cached"] = True
-                return response
-        session = self._open(normalized)
+        if cached is not None:
+            if metrics.enabled:
+                metrics.inc("service_result_cache_total", outcome="hit")
+            return response
+        if metrics.enabled:
+            metrics.inc("service_result_cache_total", outcome="miss")
+        with span("plan"):
+            session = self._open(normalized)
         try:
-            solutions = [_serialize_solution(s) for s in session.stream()]
+            with span("traverse"):
+                raw = list(session.stream())
         finally:
             session.close()
+        with span("serialize"):
+            solutions = [_serialize_solution(s) for s in raw]
         response = {
             "solutions": solutions,
             "num_solutions": len(solutions),
@@ -419,10 +487,18 @@ class QueryService:
     # ------------------------------------------------------------------ #
     def open_session(self, query: dict, page_size: Optional[int] = None) -> dict:
         """Start a paginated query; returns the first page."""
-        normalized = self.normalize(query)
+        query, want_trace = _split_trace_flag(query)
+        return self._observed(
+            "open_session", want_trace, lambda: self._open_session(query, page_size)
+        )
+
+    def _open_session(self, query: dict, page_size: Optional[int]) -> dict:
+        with span("parse"):
+            normalized = self.normalize(query)
         with self._lock:
             self.queries += 1
-        session = self._open(normalized)
+        with span("plan"):
+            session = self._open(normalized)
         record = self.sessions.create(session, query=normalized)
         with record.lock:
             return self._page(record, self.budgets.clamp_page_size(page_size))
@@ -432,6 +508,7 @@ class QueryService:
         session_id: Optional[str] = None,
         cursor: Optional[str] = None,
         page_size: Optional[int] = None,
+        want_trace: bool = False,
     ) -> dict:
         """Pull the next page, by live session id or by service cursor.
 
@@ -440,6 +517,18 @@ class QueryService:
         which is exactly what a client that simply echoes the previous
         response's fields gets.
         """
+        return self._observed(
+            "next_page",
+            want_trace,
+            lambda: self._next_page(session_id, cursor, page_size),
+        )
+
+    def _next_page(
+        self,
+        session_id: Optional[str],
+        cursor: Optional[str],
+        page_size: Optional[int],
+    ) -> dict:
         size = self.budgets.clamp_page_size(page_size)
         if session_id is not None:
             try:
@@ -452,7 +541,8 @@ class QueryService:
                     return self._page(record, size)
         if cursor is None:
             raise QueryError("next_page needs a session_id or a cursor")
-        record = self._resume_record(cursor)
+        with span("resume"):
+            record = self._resume_record(cursor)
         with record.lock:
             return self._page(record, size)
 
@@ -480,7 +570,10 @@ class QueryService:
 
     def _page(self, record, size: int) -> dict:
         session = record.session
-        solutions = [_serialize_solution(s) for s in session.next_batch(size)]
+        with span("traverse"):
+            batch = session.next_batch(size)
+        with span("serialize"):
+            solutions = [_serialize_solution(s) for s in batch]
         with self._lock:
             self.pages_served += 1
         token = _encode_service_cursor(

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
 from ..graph.protocol import as_backend
+from ..obs import get_registry
 from ..prep import prepare
 
 #: Default number of hot graphs kept resident.
@@ -72,16 +73,21 @@ class HotGraphRegistry:
     # ------------------------------------------------------------------ #
     def get_graph(self, key: Tuple[str, str], loader: Callable[[], object]):
         """The graph for ``key``, loading it via ``loader`` on a miss."""
+        metrics = get_registry()
         with self._lock:
             graph = self._graphs.get(key)
             if graph is not None:
                 self._graphs.move_to_end(key)
                 self.graph_hits += 1
+                if metrics.enabled:
+                    metrics.inc("registry_cache_total", cache="graph", outcome="hit")
                 return graph
         # Load outside the lock: file parses can be slow and loaders must
         # not serialize each other.  A racing duplicate load is benign —
         # last writer wins, both callers get a usable graph.
         graph = loader()
+        if metrics.enabled:
+            metrics.inc("registry_cache_total", cache="graph", outcome="miss")
         with self._lock:
             self.graph_loads += 1
             self._graphs[key] = graph
@@ -123,12 +129,17 @@ class HotGraphRegistry:
         should not silently change when that lands.
         """
         plan_key = (key, backend, k, prep, theta_left, theta_right, order_strategy, mode)
+        metrics = get_registry()
         with self._lock:
             plan = self._plans.get(plan_key)
             if plan is not None:
                 self._plans.move_to_end(plan_key)
                 self.plan_hits += 1
+                if metrics.enabled:
+                    metrics.inc("registry_cache_total", cache="plan", outcome="hit")
                 return plan
+        if metrics.enabled:
+            metrics.inc("registry_cache_total", cache="plan", outcome="miss")
         converted = as_backend(graph, backend)
         plan = prepare(
             converted,

@@ -19,7 +19,14 @@ durable handle.
 
 Records carry a per-session lock: sessions are forward-only iterators and
 not thread-safe, so concurrent pagination requests for the same id
-serialize on it while distinct sessions proceed in parallel.
+serialize on it while distinct sessions proceed in parallel.  Closing an
+evicted record honours the same lock — a TTL sweep or capacity eviction
+must not tear a session down underneath a pager that is mid-batch on it.
+The lock is an RLock because the pager itself removes (and thereby
+closes) a record it still holds: ``QueryService._page`` drops exhausted
+sessions from inside the record lock.  Lock ordering: the table lock is
+never held while taking a record lock — evicted records are popped under
+the table lock but closed only after it is released.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ import secrets
 import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.session import EnumerationSession
+from ..obs import get_registry
 
 #: Default idle lifetime of a session.
 DEFAULT_TTL_SECONDS = 300.0
@@ -60,7 +68,9 @@ class SessionRecord:
         self.query = query
         self.created_at = now
         self.last_used = now
-        self.lock = threading.Lock()
+        # Reentrant: QueryService._page removes an exhausted record (which
+        # closes it under this same lock) while still holding it.
+        self.lock = threading.RLock()
 
 
 class SessionTable:
@@ -100,16 +110,27 @@ class SessionTable:
         self-contained service cursor.
         """
         with self._lock:
-            self._sweep_locked()
+            to_close = self._pop_stale_locked()
             session_id = secrets.token_urlsafe(16)
             record = SessionRecord(session_id, session, query, self._clock())
             self._records[session_id] = record
             self.created += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.inc("service_sessions_total", event="created")
+                registry.gauge("service_sessions_live", len(self._records))
             while len(self._records) > self.capacity:
                 _, lru = self._records.popitem(last=False)
                 self.evicted += 1
-                self._close_quietly(lru)
-            return record
+                if registry.enabled:
+                    registry.inc("service_sessions_total", event="evicted")
+                to_close.append(lru)
+        # Outside the table lock: _close_quietly takes the record lock, and
+        # a pager thread holding a record lock may be about to take the
+        # table lock (remove) — closing inside would invert the order.
+        for stale in to_close:
+            self._close_quietly(stale)
+        return record
 
     def get(self, session_id: str) -> SessionRecord:
         """The record for ``session_id``, touched (TTL + LRU refreshed).
@@ -118,13 +139,16 @@ class SessionTable:
         caller is expected to fall back to the cursor token.
         """
         with self._lock:
-            self._sweep_locked()
+            to_close = self._pop_stale_locked()
             record = self._records.get(session_id)
-            if record is None:
-                raise SessionExpired(session_id)
-            record.last_used = self._clock()
-            self._records.move_to_end(session_id)
-            return record
+            if record is not None:
+                record.last_used = self._clock()
+                self._records.move_to_end(session_id)
+        for stale in to_close:
+            self._close_quietly(stale)
+        if record is None:
+            raise SessionExpired(session_id)
+        return record
 
     def remove(self, session_id: str) -> bool:
         """Drop (and close) one session; returns whether it was live."""
@@ -138,7 +162,10 @@ class SessionTable:
     def sweep(self) -> int:
         """Evict every session idle past the TTL; returns how many."""
         with self._lock:
-            return self._sweep_locked()
+            stale = self._pop_stale_locked()
+        for record in stale:
+            self._close_quietly(record)
+        return len(stale)
 
     def close_all(self) -> None:
         with self._lock:
@@ -157,22 +184,38 @@ class SessionTable:
             }
 
     # ------------------------------------------------------------------ #
-    def _sweep_locked(self) -> int:
+    def _pop_stale_locked(self) -> List[SessionRecord]:
+        """Unlink every TTL-expired record; the caller closes them later.
+
+        Runs under the table lock but does **not** close: the close path
+        needs each record's own lock, and taking record locks while
+        holding the table lock deadlocks against pagers (who take them in
+        the opposite order).
+        """
         deadline = self._clock() - self.ttl_seconds
         stale = [
             session_id
             for session_id, record in self._records.items()
             if record.last_used <= deadline
         ]
+        popped = []
+        registry = get_registry()
         for session_id in stale:
-            record = self._records.pop(session_id)
+            popped.append(self._records.pop(session_id))
             self.expired += 1
-            self._close_quietly(record)
-        return len(stale)
+            if registry.enabled:
+                registry.inc("service_sessions_total", event="expired")
+        if popped and registry.enabled:
+            registry.gauge("service_sessions_live", len(self._records))
+        return popped
 
     @staticmethod
     def _close_quietly(record: SessionRecord) -> None:
-        try:
-            record.session.close()
-        except Exception:
-            pass  # eviction must never fail the operation that triggered it
+        # Under the record lock: a pager mid-next_batch on this session
+        # must finish its pull before the stream is torn down (closing a
+        # generator another thread is iterating raises in both threads).
+        with record.lock:
+            try:
+                record.session.close()
+            except Exception:
+                pass  # eviction must never fail the operation that triggered it
