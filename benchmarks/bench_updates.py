@@ -1,0 +1,210 @@
+"""Incremental index maintenance vs full recompute (the ISSUE 10 tentpole).
+
+The workload is the streaming camouflage attack of
+:mod:`repro.analysis.fraud`: the fraud block is already planted, and the
+camouflage reviews (fake users -> real products) arrive over time in
+batches.  Two detectors track butterfly counts and the (α, β)-core across
+the stream:
+
+* **incremental** — one :class:`repro.graph.dynamic.DynamicGraphIndex`
+  absorbing each batch (per-edge wedge deltas, locally-repaired core);
+* **recompute** — the cold path a frozen-graph stack forces: after every
+  batch, re-run :func:`repro.graph.butterfly.edge_butterfly_counts` and
+  :func:`repro.graph.cores.alpha_beta_core` on the whole mutated graph.
+
+Every row asserts the two agree exactly (supports, totals, membership) —
+the differential is the point, the timing is the payoff — and the
+full-size run asserts the ISSUE 10 acceptance target: incremental
+maintenance at least 2x faster than recomputation on this workload.
+
+``--emit-json BENCH_updates.json`` writes a ``repro-bench-enum/1``
+snapshot (per-path entries in the ``preps`` slot) consumable by
+``python -m repro.bench.compare``, which CI wires against the previous
+run's cached snapshot.
+
+Runnable standalone (``python benchmarks/bench_updates.py``) or via
+pytest-benchmark.  Set ``REPRO_BENCH_TINY=1`` for smoke-test sizes (used
+by CI; the speedup target is skipped — tiny graphs recompute in
+microseconds either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # standalone run: mirror conftest's path setup
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.analysis.fraud import FraudStudyConfig, streaming_camouflage_edges
+from repro.graph.cores import alpha_beta_core
+from repro.graph.dynamic import DynamicGraphIndex, recomputed_oracle
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+SPEEDUP_TARGET = 2.0
+
+#: (study config, alpha, beta, batches) — the streaming-camouflage shapes.
+#: The full-size rows use the fraud study's default scale; batch counts
+#: model slow (few, large waves) and fast (many small waves) arrival.
+UPDATE_BENCH_CONFIGS = (
+    (FraudStudyConfig(), 5, 4, 10),
+    (FraudStudyConfig(), 5, 4, 40),
+)
+TINY_UPDATE_CONFIGS = (
+    (
+        FraudStudyConfig(
+            n_real_users=60,
+            n_real_products=30,
+            n_real_reviews=300,
+            n_fake_users=10,
+            n_fake_products=10,
+            seed=7,
+        ),
+        4,
+        3,
+        5,
+    ),
+)
+
+
+def _batches(edges, num_batches):
+    chunk = -(-len(edges) // num_batches) if edges else 1
+    return [edges[i * chunk : (i + 1) * chunk] for i in range(num_batches)]
+
+
+def run_update_comparison(configs=None):
+    """One row per streaming config: maintained indices vs per-batch recompute."""
+    if configs is None:
+        configs = TINY_UPDATE_CONFIGS if TINY else UPDATE_BENCH_CONFIGS
+    rows = []
+    for config, alpha, beta, num_batches in configs:
+        base, _injection, camouflage = streaming_camouflage_edges(config)
+        batches = _batches(camouflage, num_batches)
+        label = (
+            f"{base.n_left}x{base.n_right} e={base.num_edges} "
+            f"+{len(camouflage)} in {num_batches} batches a={alpha} b={beta}"
+        )
+
+        # Incremental path: one index, every batch applied in place.
+        incremental_graph = base.copy()
+        index = DynamicGraphIndex(incremental_graph, alpha=alpha, beta=beta)
+        start = time.perf_counter()
+        for batch in batches:
+            index.apply(inserts=batch)
+        incremental_seconds = time.perf_counter() - start
+
+        # Recompute path: the same arrivals, indices rebuilt from scratch
+        # after every batch (what a frozen-graph stack has to do).
+        recompute_graph = base.copy()
+        start = time.perf_counter()
+        for batch in batches:
+            recompute_graph.apply_batch(inserts=batch)
+            total, supports, core = recomputed_oracle(
+                recompute_graph, alpha=alpha, beta=beta
+            )
+        recompute_seconds = time.perf_counter() - start
+
+        # Differential before timing claims: the final maintained state must
+        # equal the final recomputed one, bit for bit.
+        assert index.butterfly_count == total, label
+        assert index.butterflies.supports == supports, label
+        assert tuple(map(set, index.core_members)) == tuple(map(set, core)), label
+        check_left, check_right = alpha_beta_core(incremental_graph, alpha, beta)
+        assert (set(check_left), set(check_right)) == tuple(map(set, core)), label
+
+        rows.append(
+            {
+                "config": label,
+                "edges_streamed": len(camouflage),
+                "butterflies": index.butterfly_count,
+                "incremental_seconds": incremental_seconds,
+                "recompute_seconds": recompute_seconds,
+                "speedup": (
+                    recompute_seconds / incremental_seconds
+                    if incremental_seconds
+                    else float("inf")
+                ),
+            }
+        )
+    return rows
+
+
+def _assert_speedup_target(rows):
+    """The ISSUE 10 acceptance target, checked on the full-size run."""
+    speedups = [row["speedup"] for row in rows]
+    assert min(speedups) >= SPEEDUP_TARGET, (
+        f"incremental maintenance must beat per-batch recomputation by "
+        f">= {SPEEDUP_TARGET}x on every streaming configuration, got {speedups}"
+    )
+
+
+def update_snapshot(rows):
+    """``repro-bench-enum/1`` snapshot; the two paths fill the preps slot.
+
+    ``num_solutions`` carries the (deterministic) butterfly total so the
+    comparator's count check doubles as a cross-run correctness alarm.
+    """
+    runs = []
+    for row in rows:
+        entry = {
+            "num_solutions": row["butterflies"],
+            "truncated": False,
+        }
+        runs.append(
+            {
+                "config": row["config"],
+                "preps": {
+                    "incremental": dict(entry, seconds=row["incremental_seconds"]),
+                    "recompute": dict(entry, seconds=row["recompute_seconds"]),
+                },
+            }
+        )
+    return {"schema": "repro-bench-enum/1", "runs": runs}
+
+
+def test_incremental_updates(benchmark):
+    from conftest import run_once
+
+    from repro.bench.reporting import print_table
+
+    rows = run_once(benchmark, run_update_comparison)
+    print()
+    print_table(rows, title="Index maintenance: incremental vs full recompute")
+    assert all(row["butterflies"] > 0 for row in rows)
+    if not TINY:
+        _assert_speedup_target(rows)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from repro.bench.reporting import print_table
+
+    parser = argparse.ArgumentParser(
+        description="benchmark incremental index maintenance against full recompute"
+    )
+    parser.add_argument(
+        "--emit-json",
+        metavar="FILE",
+        default=None,
+        help="write a repro-bench-enum/1 snapshot to FILE ('-' for stdout)",
+    )
+    args = parser.parse_args()
+    table = run_update_comparison()
+    print_table(table, title="Index maintenance: incremental vs full recompute")
+    if TINY:
+        print("smoke mode: differential checked, speedup target skipped")
+    else:
+        _assert_speedup_target(table)
+    if args.emit_json:
+        payload = json.dumps(update_snapshot(table), indent=2, sort_keys=True)
+        if args.emit_json == "-":
+            print(payload)
+        else:
+            with open(args.emit_json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.emit_json}")

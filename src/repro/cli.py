@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -256,6 +257,30 @@ def _build_parser() -> argparse.ArgumentParser:
     cancel_parser = query_sub.add_parser("cancel", help="cancel a live daemon session")
     cancel_parser.add_argument("session_id")
     cancel_parser.add_argument("--server", required=True, metavar="URL")
+
+    update_parser = query_sub.add_parser(
+        "update", help="apply an edge insert/delete batch to a daemon's hot graph"
+    )
+    update_source = update_parser.add_mutually_exclusive_group(required=True)
+    update_source.add_argument("--input", help="edge-list file (see repro.graph.io)")
+    update_source.add_argument(
+        "--dataset", choices=ALL_DATASETS, help="registry dataset name"
+    )
+    update_parser.add_argument("--server", required=True, metavar="URL")
+    update_parser.add_argument(
+        "--insert",
+        action="append",
+        default=[],
+        metavar="L:R",
+        help="edge to insert, as left:right vertex ids (repeatable)",
+    )
+    update_parser.add_argument(
+        "--delete",
+        action="append",
+        default=[],
+        metavar="L:R",
+        help="edge to delete, as left:right vertex ids (repeatable)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the HTTP/JSON query daemon (same flags as python -m repro.serve)"
@@ -543,7 +568,12 @@ def _print_solutions(solutions, status, fmt: str, trace_block=None) -> None:
 
 
 def _command_query_stats(args: argparse.Namespace) -> int:
-    """Scrape ``/v1/metrics`` once, or repeatedly under ``--watch``."""
+    """Scrape ``/v1/metrics`` once, or repeatedly under ``--watch``.
+
+    Both ways a watch loop normally ends — Ctrl-C, or the downstream pager
+    closing the pipe (``... --watch 1 | head``) — are clean exits (code 0,
+    no traceback), not errors.
+    """
     import time as time_module
 
     from .obs import render_snapshot_text
@@ -562,6 +592,47 @@ def _command_query_stats(args: argparse.Namespace) -> int:
             print(f"--- {time_module.strftime('%H:%M:%S')} ---")
     except KeyboardInterrupt:
         return 0
+    except OSError as error:
+        import errno
+
+        if not isinstance(error, BrokenPipeError) and error.errno != errno.EPIPE:
+            raise
+        # Point stdout at devnull so the interpreter's exit-time flush of
+        # the dead pipe cannot raise a second time.  Skipped when stdout has
+        # no real descriptor (captured/redirected streams).
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass
+        return 0
+
+
+def _parse_edge_flag(text: str) -> List[int]:
+    left_text, sep, right_text = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return [int(left_text), int(right_text)]
+    except ValueError:
+        raise ValueError(
+            f"edge {text!r} is not of the form L:R (two integer vertex ids)"
+        ) from None
+
+
+def _command_query_update(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph_spec = {"dataset": args.dataset}
+    else:
+        graph_spec = {"path": args.input}
+    document = {
+        "graph": graph_spec,
+        "insert": [_parse_edge_flag(text) for text in args.insert],
+        "delete": [_parse_edge_flag(text) for text in args.delete],
+    }
+    response = _server_request(args.server, "POST", "/v1/update", document)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -571,6 +642,8 @@ def _command_query(args: argparse.Namespace) -> int:
             return 0
         if args.query_command == "stats":
             return _command_query_stats(args)
+        if args.query_command == "update":
+            return _command_query_update(args)
         if args.query_command == "cancel":
             response = _server_request(
                 args.server, "POST", "/v1/cancel", {"session_id": args.session_id}
@@ -595,7 +668,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    ServiceHTTPServer(service, host=args.host, port=args.port).run()
+    ServiceHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        rate_limit=getattr(args, "rate_limit", None),
+    ).run()
     return 0
 
 

@@ -32,7 +32,7 @@ from .objective import (
     make_objective,
     resolve_objective,
 )
-from .session import CURSOR_SCHEMA, CursorError, EnumerationSession
+from .session import CURSOR_SCHEMA, CursorError, EnumerationSession, StaleCursorError
 from .solution_graph import SolutionGraph, build_solution_graph, count_links
 from .traversal import ReverseSearchEngine, TraversalConfig, TraversalStats, run_with_stats
 from .verify import (
@@ -78,6 +78,7 @@ __all__ = [
     "resolve_objective",
     "CURSOR_SCHEMA",
     "CursorError",
+    "StaleCursorError",
     "EnumerationSession",
     "ReverseSearchEngine",
     "TraversalConfig",

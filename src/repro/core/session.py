@@ -103,6 +103,15 @@ class CursorError(ValueError):
     """A cursor token is malformed or does not match the resume target."""
 
 
+class StaleCursorError(CursorError):
+    """The graph mutated (epoch changed) after the cursor was issued.
+
+    Distinguished from the generic mismatch so the service layer can map
+    it to a precise ``stale_cursor`` error (HTTP 409) instead of a generic
+    bad-cursor 400: the client's token was valid, the world moved.
+    """
+
+
 def _encode_token(payload: dict) -> str:
     raw = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
     return base64.urlsafe_b64encode(zlib.compress(raw, 6)).decode("ascii")
@@ -350,6 +359,11 @@ class EnumerationSession:
             asdict(config.enum_config),
             plan.left_order,
             plan.right_order,
+            # The mutation epoch the plan was prepared at: a cursor from
+            # before an edge update must not resume against the mutated
+            # graph (resume() additionally checks the epoch *first* so the
+            # failure is reported as stale_cursor, not a generic mismatch).
+            plan.epoch,
         )
         digest.update(repr(signature).encode())
         self._fingerprint = digest.hexdigest()
@@ -372,6 +386,7 @@ class EnumerationSession:
             "schema": CURSOR_SCHEMA,
             "mode": self._mode,
             "fingerprint": self.fingerprint(),
+            "epoch": self.engine.prep_plan.epoch,
             "emitted": self._emitted,
             # A budget-capped run that drained its stream is *finished*
             # from this session's point of view (`exhausted` frees service
@@ -427,6 +442,16 @@ class EnumerationSession:
         """
         data = _decode_token(cursor)
         session = cls(graph, k, config, prep_plan=prep_plan)
+        token_epoch = int(data.get("epoch", 0))
+        plan_epoch = session.engine.prep_plan.epoch
+        if token_epoch != plan_epoch:
+            # Checked before the fingerprint so a mutated graph reports the
+            # precise condition instead of a generic mismatch.
+            raise StaleCursorError(
+                "stale_cursor: the graph was mutated after this cursor was "
+                f"issued (cursor epoch {token_epoch}, graph epoch "
+                f"{plan_epoch}); re-run the query to get fresh results"
+            )
         if data.get("fingerprint") != session.fingerprint():
             raise CursorError(
                 "cursor does not match this graph/configuration "

@@ -3,6 +3,12 @@
 from .bipartite import BipartiteGraph, Side, freeze, paper_example_graph, sorted_tuple
 from .bitset import BitsetBipartiteGraph
 from .cores import alpha_beta_core, alpha_beta_core_subgraph, theta_core_for_large_mbps
+from .dynamic import (
+    AlphaBetaCoreIndex,
+    ButterflyIndex,
+    DynamicGraphIndex,
+    recomputed_oracle,
+)
 from .general import BitsetGraph, Graph
 from .generators import (
     FraudInjection,
@@ -77,6 +83,10 @@ __all__ = [
     "alpha_beta_core",
     "alpha_beta_core_subgraph",
     "theta_core_for_large_mbps",
+    "AlphaBetaCoreIndex",
+    "ButterflyIndex",
+    "DynamicGraphIndex",
+    "recomputed_oracle",
     "inflate",
     "inflated_edge_count",
     "split_vertex_set",

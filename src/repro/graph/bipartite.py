@@ -64,7 +64,7 @@ class BipartiteGraph:
     False
     """
 
-    __slots__ = ("_n_left", "_n_right", "_adj_left", "_adj_right", "_num_edges")
+    __slots__ = ("_n_left", "_n_right", "_adj_left", "_adj_right", "_num_edges", "_epoch")
 
     def __init__(
         self,
@@ -79,8 +79,15 @@ class BipartiteGraph:
         self._adj_left: List[Set[int]] = [set() for _ in range(n_left)]
         self._adj_right: List[Set[int]] = [set() for _ in range(n_right)]
         self._num_edges = 0
+        self._epoch = 0
         for left_vertex, right_vertex in edges:
             self.add_edge(left_vertex, right_vertex)
+        # Construction is epoch 0 regardless of how many edges were replayed:
+        # the epoch versions *post-construction mutation*, which is what the
+        # caches and cursor fingerprints key on.  Copies and subgraphs
+        # therefore also (re)start at epoch 0 — epochs are per-object, not a
+        # property of the adjacency they describe.
+        self._epoch = 0
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -104,6 +111,16 @@ class BipartiteGraph:
     def num_edges(self) -> int:
         """Number of edges ``|E|``."""
         return self._num_edges
+
+    @property
+    def epoch(self) -> int:
+        """Mutation-batch counter: 0 at construction, +1 per successful
+        :meth:`add_edge` / :meth:`remove_edge` call and +1 per
+        :meth:`apply_batch` that changed anything.  Everything that caches
+        derived state for a graph object (prep plans, service result caches,
+        session cursors) records the epoch it was computed at and treats a
+        mismatch as staleness."""
+        return self._epoch
 
     @property
     def edge_density(self) -> float:
@@ -144,6 +161,7 @@ class BipartiteGraph:
         self._adj_left[left_vertex].add(right_vertex)
         self._adj_right[right_vertex].add(left_vertex)
         self._num_edges += 1
+        self._epoch += 1
         return True
 
     def remove_edge(self, left_vertex: int, right_vertex: int) -> bool:
@@ -155,7 +173,66 @@ class BipartiteGraph:
         self._adj_left[left_vertex].discard(right_vertex)
         self._adj_right[right_vertex].discard(left_vertex)
         self._num_edges -= 1
+        self._epoch += 1
         return True
+
+    def apply_batch(
+        self,
+        inserts: Iterable[Tuple[int, int]] = (),
+        deletes: Iterable[Tuple[int, int]] = (),
+    ) -> Tuple[int, int]:
+        """Apply a batch of edge mutations as ONE epoch bump.
+
+        Returns ``(added, removed)`` — edges actually inserted / removed
+        (no-op pairs are counted out).  The epoch rises by exactly one when
+        the batch changed anything and not at all when it was a no-op, so a
+        service-level update maps to a single cache-invalidation step no
+        matter how many edges it carries.  Id validation happens before any
+        mutation per edge, so an :class:`IndexError` mid-batch leaves earlier
+        edges applied — callers wanting atomicity validate ids first.
+        """
+        saved = self._epoch
+        added = removed = 0
+        for left_vertex, right_vertex in inserts:
+            if self.add_edge(left_vertex, right_vertex):
+                added += 1
+        for left_vertex, right_vertex in deletes:
+            if self.remove_edge(left_vertex, right_vertex):
+                removed += 1
+        self._epoch = saved + 1 if (added or removed) else saved
+        return added, removed
+
+    def reset_epoch(self, epoch: int = 0) -> None:
+        """Overwrite the mutation counter (default: re-zero it).
+
+        For builders (the random-graph generators) that assemble a graph
+        through ``add_edge`` and then hand it out as a *fresh* object: the
+        assembly edges are construction, not mutation, so the published
+        graph should start at epoch 0 like a constructor-built one.  The
+        hot-graph registry passes an explicit ``epoch`` to stamp a backend
+        conversion with its source graph's counter, keeping the two in
+        lockstep under later batches.
+        """
+        self._epoch = epoch
+
+    def add_left_vertex(self) -> int:
+        """Grow the left side by one isolated vertex; returns its new id.
+
+        Growth bumps the epoch: an isolated vertex is itself enumerable
+        content (any vertex set of size ≤ k on the other side tolerates it),
+        so cached results over the smaller graph are stale.
+        """
+        self._adj_left.append(set())
+        self._n_left += 1
+        self._epoch += 1
+        return self._n_left - 1
+
+    def add_right_vertex(self) -> int:
+        """Grow the right side by one isolated vertex; returns its new id."""
+        self._adj_right.append(set())
+        self._n_right += 1
+        self._epoch += 1
+        return self._n_right - 1
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -399,6 +476,29 @@ class MirrorView:
     @property
     def num_vertices(self) -> int:
         return self._graph.num_vertices
+
+    @property
+    def epoch(self) -> int:
+        return self._graph.epoch
+
+    # -- mutation surface, forwarded with the sides exchanged ------------ #
+    def add_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        return self._graph.add_edge(right_vertex, left_vertex)
+
+    def remove_edge(self, left_vertex: int, right_vertex: int) -> bool:
+        return self._graph.remove_edge(right_vertex, left_vertex)
+
+    def apply_batch(self, inserts=(), deletes=()):
+        return self._graph.apply_batch(
+            inserts=[(u, v) for v, u in inserts],
+            deletes=[(u, v) for v, u in deletes],
+        )
+
+    def add_left_vertex(self) -> int:
+        return self._graph.add_right_vertex()
+
+    def add_right_vertex(self) -> int:
+        return self._graph.add_left_vertex()
 
     def left_vertices(self) -> range:
         return self._graph.right_vertices()

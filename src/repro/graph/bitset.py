@@ -100,6 +100,14 @@ class BitsetBipartiteGraph(BipartiteGraph):
         self._right_masks[right_vertex] &= ~(1 << left_vertex)
         return True
 
+    def add_left_vertex(self) -> int:
+        self._left_masks.append(0)
+        return super().add_left_vertex()
+
+    def add_right_vertex(self) -> int:
+        self._right_masks.append(0)
+        return super().add_right_vertex()
+
     # ------------------------------------------------------------------ #
     # Conversion
     # ------------------------------------------------------------------ #

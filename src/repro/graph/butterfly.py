@@ -35,7 +35,7 @@ which beats any whole-row re-scoring of the affected anchor rows.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from .bipartite import BipartiteGraph
 from .protocol import iter_bits, supports_masks, supports_vector_batch
@@ -307,7 +307,11 @@ def _butterfly_mates(graph: BipartiteGraph, v: int, u: int) -> Iterator[Tuple[in
                 yield v_prime, u_prime
 
 
-def k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
+def k_bitruss(
+    graph: BipartiteGraph,
+    k: int,
+    supports: Optional[Dict[Tuple[int, int], int]] = None,
+) -> BipartiteGraph:
     """Return the k-bitruss subgraph (same vertex id space, fewer edges).
 
     Edges whose butterfly support drops below ``k`` are peeled iteratively
@@ -319,6 +323,11 @@ def k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
     decrements only the supports of edges that shared a butterfly with it
     (three per butterfly), so each butterfly is touched at most once overall
     instead of once per peeling round.
+
+    ``supports`` optionally provides precomputed per-edge butterfly counts
+    for exactly ``graph``'s edge set (the incremental maintenance layer in
+    :mod:`repro.graph.dynamic` hands its maintained counts here to skip the
+    from-scratch pass).  The mapping is copied, never mutated.
     """
     if k < 0:
         raise ValueError("k must be non-negative")
@@ -333,7 +342,7 @@ def k_bitruss(graph: BipartiteGraph, k: int) -> BipartiteGraph:
     # anchor rows, the bounded incremental walk wins in every regime (the
     # rescore sweeps |touched| whole rows per round regardless of how few
     # butterflies actually died).
-    support = edge_butterfly_counts(working)
+    support = dict(supports) if supports is not None else edge_butterfly_counts(working)
     queue = deque(edge for edge, count in support.items() if count < k)
     while queue:
         v, u = queue.popleft()

@@ -65,6 +65,7 @@ def erdos_renyi_bipartite(
         rng.shuffle(all_pairs)
         for v, u in all_pairs[:num_edges]:
             graph.add_edge(v, u)
+        graph.reset_epoch()
         return graph
     placed = 0
     while placed < num_edges:
@@ -72,6 +73,7 @@ def erdos_renyi_bipartite(
         u = rng.randrange(n_right)
         if graph.add_edge(v, u):
             placed += 1
+    graph.reset_epoch()
     return graph
 
 
@@ -114,6 +116,7 @@ def power_law_bipartite(
         v = rng.randrange(n_left)
         u = rng.randrange(n_right)
         graph.add_edge(v, u)
+    graph.reset_epoch()
     return graph
 
 
@@ -198,6 +201,7 @@ def planted_biplex_graph_with_blocks(
         u = rng.randrange(n_right)
         if graph.add_edge(v, u):
             placed += 1
+    graph.reset_epoch()
     return graph, blocks
 
 
@@ -316,6 +320,7 @@ def review_graph_with_camouflage(
         list(range(n_real_products)),
         n_camouflage_reviews,
     )
+    graph.reset_epoch()
     return graph, FraudInjection(fake_users=fake_users, fake_products=fake_products)
 
 

@@ -244,6 +244,36 @@ class PackedBipartiteGraph(BitsetBipartiteGraph):
             )
         return True
 
+    def add_left_vertex(self) -> int:
+        # One zero row on our own matrix; the *other* side's rows gain a
+        # zero word only when the new id crosses a 64-bit word boundary.
+        self._left_rows = _np.concatenate(
+            [self._left_rows, _np.zeros((1, self._left_rows.shape[1]), dtype=_np.uint64)]
+        )
+        if words_for(self._n_left + 1) > words_for(self._n_left):
+            self._right_rows = _np.concatenate(
+                [
+                    self._right_rows,
+                    _np.zeros((self._right_rows.shape[0], 1), dtype=_np.uint64),
+                ],
+                axis=1,
+            )
+        return super().add_left_vertex()
+
+    def add_right_vertex(self) -> int:
+        self._right_rows = _np.concatenate(
+            [self._right_rows, _np.zeros((1, self._right_rows.shape[1]), dtype=_np.uint64)]
+        )
+        if words_for(self._n_right + 1) > words_for(self._n_right):
+            self._left_rows = _np.concatenate(
+                [
+                    self._left_rows,
+                    _np.zeros((self._left_rows.shape[0], 1), dtype=_np.uint64),
+                ],
+                axis=1,
+            )
+        return super().add_right_vertex()
+
     # ------------------------------------------------------------------ #
     # Batch capability
     # ------------------------------------------------------------------ #
@@ -449,6 +479,22 @@ class ArrayPackedBipartiteGraph(BitsetBipartiteGraph):
             1 << (left_vertex & 63)
         )
         return True
+
+    def add_left_vertex(self) -> int:
+        # Genuinely in-place word-append: array('Q') rows grow with
+        # ``row.append(0)`` when the new id crosses a word boundary.
+        self._left_rows.append(array("Q", [0] * words_for(self._n_right)))
+        if words_for(self._n_left + 1) > words_for(self._n_left):
+            for row in self._right_rows:
+                row.append(0)
+        return super().add_left_vertex()
+
+    def add_right_vertex(self) -> int:
+        self._right_rows.append(array("Q", [0] * words_for(self._n_left)))
+        if words_for(self._n_right + 1) > words_for(self._n_right):
+            for row in self._left_rows:
+                row.append(0)
+        return super().add_right_vertex()
 
     def rows(self, side) -> List[array]:
         """The packed rows of ``side``: a list with one ``array('Q')`` per vertex.

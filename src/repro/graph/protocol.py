@@ -228,11 +228,21 @@ def as_backend(graph, backend: str):
     already exposes batch rows (auto-selecting the ``array('Q')`` fallback
     when numpy is unavailable).  Raises :class:`ValueError` for unknown
     backend names.
+
+    A conversion is the *same logical graph* on a different substrate, so
+    the source's mutation epoch is carried over (unlike copies/subgraphs,
+    which restart at 0): prep plans and cursor fingerprints built from the
+    converted object must agree with ones built from the source, or a
+    cursor minted on a mutated graph would mis-report as a generic
+    mismatch instead of ``stale_cursor``.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    converted = graph
     if backend == "bitset" and not supports_masks(graph):
-        return graph.to_bitset()
-    if backend == "packed" and not supports_batch(graph):
-        return graph.to_packed()
-    return graph
+        converted = graph.to_bitset()
+    elif backend == "packed" and not supports_batch(graph):
+        converted = graph.to_packed()
+    if converted is not graph and hasattr(converted, "reset_epoch"):
+        converted.reset_epoch(getattr(graph, "epoch", 0))
+    return converted

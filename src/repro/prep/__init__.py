@@ -28,6 +28,7 @@ from .plan import (
     default_order_strategy,
     default_prep,
     prepare,
+    reprepare,
     resolve_order_strategy,
     resolve_prep,
 )
@@ -36,6 +37,7 @@ from .reduce import (
     bitruss_support_bound,
     bound_core_sets,
     reduce_for_thresholds,
+    repair_core_sets,
     threshold_core_bounds,
 )
 
@@ -47,11 +49,13 @@ __all__ = [
     "default_order_strategy",
     "default_prep",
     "prepare",
+    "reprepare",
     "resolve_order_strategy",
     "resolve_prep",
     "Reduction",
     "bound_core_sets",
     "reduce_for_thresholds",
+    "repair_core_sets",
     "threshold_core_bounds",
     "bitruss_support_bound",
     "ORDER_STRATEGIES",

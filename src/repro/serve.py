@@ -78,6 +78,17 @@ def build_arg_parser(
         help="server-side ceiling on any query's time_limit (seconds)",
     )
     parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="REQ_PER_SEC",
+        help=(
+            "per-client request rate limit (429 + Retry-After past it; "
+            "default: the REPRO_RATE_LIMIT environment variable; unset = "
+            "no rate limiting)"
+        ),
+    )
+    parser.add_argument(
         "--slow-query-ms",
         type=float,
         default=None,
@@ -126,7 +137,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    ServiceHTTPServer(service, host=args.host, port=args.port).run()
+    ServiceHTTPServer(
+        service, host=args.host, port=args.port, rate_limit=args.rate_limit
+    ).run()
     return 0
 
 

@@ -27,7 +27,14 @@ layering (bottom up; ``ARCHITECTURE.md`` has the full picture):
     :func:`~repro.service.status.status_block`.
 """
 
-from .query import Budgets, QueryError, QueryService, ServiceCursorError
+from .query import (
+    Budgets,
+    QueryError,
+    QueryService,
+    ServiceCursorError,
+    ServiceStaleCursorError,
+)
+from .ratelimit import RateLimiter, limiter_from_env
 from .registry import HotGraphRegistry
 from .sessions import SessionExpired, SessionTable
 from .status import status_block
@@ -37,8 +44,11 @@ __all__ = [
     "HotGraphRegistry",
     "QueryError",
     "QueryService",
+    "RateLimiter",
     "ServiceCursorError",
+    "ServiceStaleCursorError",
     "SessionExpired",
     "SessionTable",
+    "limiter_from_env",
     "status_block",
 ]

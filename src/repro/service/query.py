@@ -61,7 +61,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.itraversal import ITraversal, itraversal_config
 from ..core.objective import resolve_objective
-from ..core.session import CursorError, EnumerationSession
+from ..core.session import CursorError, EnumerationSession, StaleCursorError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.io import read_edge_list
 from ..graph.protocol import BACKENDS, default_backend
@@ -82,6 +82,16 @@ class QueryError(ValueError):
 
 class ServiceCursorError(QueryError):
     """A service cursor token is malformed or unresumable."""
+
+
+class ServiceStaleCursorError(ServiceCursorError):
+    """The cursor predates a mutation of its graph.
+
+    Raised when a resume's engine-level epoch check fires
+    (:class:`repro.core.session.StaleCursorError`); the HTTP layer maps it
+    to 409 with ``"code": "stale_cursor"`` rather than a generic 400 —
+    the token is well-formed, the *world* moved on.
+    """
 
 
 @dataclass(frozen=True)
@@ -172,12 +182,16 @@ class QueryService:
         self.budgets = budgets if budgets is not None else Budgets()
         self.slow_log = slow_log if slow_log is not None else SlowQueryLog.from_env()
         self._result_cache_capacity = max(0, result_cache_capacity)
+        # cache key -> {"graph_key": registry key, "response": dict}; the
+        # graph key lets an update purge exactly this graph's entries.
         self._results: "OrderedDict[str, dict]" = OrderedDict()
         self._lock = threading.RLock()
         self.queries = 0
         self.pages_served = 0
         self.result_hits = 0
         self.cursor_resumes = 0
+        self.updates = 0
+        self.results_invalidated = 0
 
     # ------------------------------------------------------------------ #
     # Request observability
@@ -392,8 +406,10 @@ class QueryService:
 
         return key, self.registry.get_graph(key, loader)
 
-    def _plan_for(self, normalized: dict):
-        key, graph = self.resolve_graph(normalized["graph"])
+    def _plan_for(self, normalized: dict, resolved=None):
+        key, graph = (
+            resolved if resolved is not None else self.resolve_graph(normalized["graph"])
+        )
         return self.registry.get_plan(
             key,
             graph,
@@ -423,8 +439,8 @@ class QueryService:
             top=normalized.get("top"),
         )
 
-    def _open(self, normalized: dict) -> EnumerationSession:
-        plan = self._plan_for(normalized)
+    def _open(self, normalized: dict, resolved=None) -> EnumerationSession:
+        plan = self._plan_for(normalized, resolved=resolved)
         config = self._config_for(normalized)
         return EnumerationSession(None, normalized["k"], config, prep_plan=plan)
 
@@ -440,14 +456,22 @@ class QueryService:
         metrics = get_registry()
         with span("parse"):
             normalized = self.normalize(query)
-        cache_key = json.dumps(normalized, separators=(",", ":"), sort_keys=True)
+        # The graph resolves *before* the cache lookup: its mutation epoch
+        # is part of the cache key, so a result computed before an update
+        # can never answer a query made after it.
+        graph_key, graph = self.resolve_graph(normalized["graph"])
+        epoch = getattr(graph, "epoch", 0)
+        cache_key = (
+            json.dumps(normalized, separators=(",", ":"), sort_keys=True)
+            + f"|epoch={epoch}"
+        )
         with self._lock:
             self.queries += 1
             cached = self._results.get(cache_key)
             if cached is not None:
                 self._results.move_to_end(cache_key)
                 self.result_hits += 1
-                response = copy.deepcopy(cached)
+                response = copy.deepcopy(cached["response"])
                 response["cached"] = True
         if cached is not None:
             if metrics.enabled:
@@ -456,7 +480,7 @@ class QueryService:
         if metrics.enabled:
             metrics.inc("service_result_cache_total", outcome="miss")
         with span("plan"):
-            session = self._open(normalized)
+            session = self._open(normalized, resolved=(graph_key, graph))
         try:
             with span("traverse"):
                 raw = list(session.stream())
@@ -476,11 +500,96 @@ class QueryService:
         # later identical query as if it were the answer.
         if self._result_cache_capacity > 0 and not session.stats.hit_time_limit:
             with self._lock:
-                self._results[cache_key] = copy.deepcopy(response)
+                self._results[cache_key] = {
+                    "graph_key": graph_key,
+                    "response": copy.deepcopy(response),
+                }
                 self._results.move_to_end(cache_key)
                 while len(self._results) > self._result_cache_capacity:
                     self._results.popitem(last=False)
         return response
+
+    # ------------------------------------------------------------------ #
+    # Graph mutation (``POST /v1/update`` / ``repro-mbp query update``)
+    # ------------------------------------------------------------------ #
+    def update(self, document: dict) -> dict:
+        """Apply an edge batch to a hot graph, invalidating stale caches.
+
+        ``document`` is ``{"graph": <spec>, "insert": [[l, r], ...],
+        "delete": [[l, r], ...]}`` — the same graph specs queries use.
+        The batch bumps the graph's epoch, so stale plans and cached
+        results stop matching; cursors issued before the update resume
+        with a ``stale_cursor`` error.
+        """
+        document, want_trace = _split_trace_flag(document)
+        return self._observed("update", want_trace, lambda: self._update(document))
+
+    def _update(self, document: dict) -> dict:
+        if not isinstance(document, dict):
+            raise QueryError("update must be a JSON object")
+        unknown = set(document) - {"graph", "insert", "delete"}
+        if unknown:
+            raise QueryError(f"unknown update fields: {sorted(unknown)}")
+        with span("parse"):
+            graph_spec = self._normalize_graph_spec(document.get("graph"))
+            inserts = self._edge_batch(document.get("insert"), "insert")
+            deletes = self._edge_batch(document.get("delete"), "delete")
+        if not inserts and not deletes:
+            raise QueryError("update needs a non-empty insert or delete list")
+        key, graph = self.resolve_graph(graph_spec)
+        # Validate the whole batch against the graph's dimensions before
+        # applying anything: apply_batch raising mid-way would leave the
+        # earlier edges in.
+        for label, batch in (("insert", inserts), ("delete", deletes)):
+            for left, right in batch:
+                if not (0 <= left < graph.n_left and 0 <= right < graph.n_right):
+                    raise QueryError(
+                        f"{label} edge [{left}, {right}] is out of range for a "
+                        f"{graph.n_left}x{graph.n_right} graph"
+                    )
+        with span("apply"):
+            outcome = self.registry.apply_update(key, inserts, deletes)
+        with self._lock:
+            self.updates += 1
+            stale = [
+                cache_key
+                for cache_key, entry in self._results.items()
+                if entry["graph_key"] == key
+            ]
+            for cache_key in stale:
+                del self._results[cache_key]
+            self.results_invalidated += len(stale)
+        metrics = get_registry()
+        if metrics.enabled and stale:
+            metrics.inc(
+                "service_result_invalidation_total", len(stale), cause="update"
+            )
+        outcome["results_invalidated"] = len(stale)
+        return outcome
+
+    @staticmethod
+    def _edge_batch(value, name: str) -> List[Tuple[int, int]]:
+        if value is None:
+            return []
+        if not isinstance(value, list):
+            raise QueryError(f'"{name}" must be a list of [left, right] pairs')
+        batch: List[Tuple[int, int]] = []
+        for edge in value:
+            if (
+                not isinstance(edge, (list, tuple))
+                or len(edge) != 2
+                or not all(
+                    isinstance(v, int) and not isinstance(v, bool) for v in edge
+                )
+                or edge[0] < 0
+                or edge[1] < 0
+            ):
+                raise QueryError(
+                    f'"{name}" entries must be [left, right] pairs of '
+                    "non-negative integers"
+                )
+            batch.append((edge[0], edge[1]))
+        return batch
 
     # ------------------------------------------------------------------ #
     # Paginated enumeration (sessions + service cursors)
@@ -562,6 +671,8 @@ class QueryService:
             session = EnumerationSession.resume(
                 None, normalized["k"], token, config, prep_plan=plan
             )
+        except StaleCursorError as error:
+            raise ServiceStaleCursorError(str(error)) from None
         except CursorError as error:
             raise ServiceCursorError(str(error)) from None
         with self._lock:
@@ -612,6 +723,8 @@ class QueryService:
                 "result_cache_hits": self.result_hits,
                 "result_cache_resident": len(self._results),
                 "cursor_resumes": self.cursor_resumes,
+                "updates": self.updates,
+                "results_invalidated": self.results_invalidated,
             }
         service.update(self.registry.counters())
         service.update(self.sessions.counters())

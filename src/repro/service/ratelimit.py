@@ -1,0 +1,101 @@
+"""Per-client token-bucket rate limiting for the HTTP front end.
+
+Off by default: the limiter only exists when ``REPRO_RATE_LIMIT`` (a
+requests-per-second float) is set or the daemon is started with
+``--rate-limit``.  Each client — keyed by peer IP — gets its own bucket
+of ``burst`` tokens refilled at ``rate`` per second; a request with no
+token available is rejected with 429 plus a ``Retry-After`` hint for
+when one will have accrued.
+
+The clock is injectable so the unit tests drive time deterministically
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+#: Environment variable enabling the limiter (requests per second).
+RATE_LIMIT_ENV_VAR = "REPRO_RATE_LIMIT"
+
+#: Distinct client buckets kept before the least-recently-seen is evicted.
+#: An evicted client simply starts over with a full bucket — the limiter
+#: bounds burst rate, it is not an accounting ledger.
+MAX_CLIENTS = 1024
+
+
+class RateLimiter:
+    """Token buckets per client key (thread-safe)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate limit must be positive (requests per second)")
+        self.rate = float(rate)
+        # Default burst: one second's worth, but never less than one whole
+        # request — a sub-1 rate must still admit the first request.
+        self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
+        if self.burst < 1.0:
+            raise ValueError("burst must admit at least one request")
+        self._clock = clock
+        self._lock = threading.Lock()
+        # client -> (tokens, last refill timestamp); insertion order is
+        # recency order (entries are re-inserted on touch).
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self.rejected = 0
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        """Spend one token for ``client``.
+
+        Returns ``(allowed, retry_after_seconds)`` — ``retry_after`` is 0
+        when allowed, else the time until a full token will have accrued.
+        """
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.pop(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                self._trim()
+                return True, 0.0
+            self._buckets[client] = (tokens, now)
+            self._trim()
+            self.rejected += 1
+            return False, (1.0 - tokens) / self.rate
+
+    def _trim(self) -> None:
+        while len(self._buckets) > MAX_CLIENTS:
+            self._buckets.pop(next(iter(self._buckets)))
+
+
+def limiter_from_env(
+    rate: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> Optional[RateLimiter]:
+    """Build the limiter the daemon should run with, or ``None`` (off).
+
+    An explicit ``rate`` (the ``--rate-limit`` flag) wins over the
+    ``REPRO_RATE_LIMIT`` environment variable; absent both, rate limiting
+    is disabled.  A malformed environment value raises ``ValueError`` so a
+    typo fails the daemon loudly instead of silently disabling the limit.
+    """
+    if rate is None:
+        raw = os.environ.get(RATE_LIMIT_ENV_VAR)
+        if raw is None or not raw.strip():
+            return None
+        try:
+            rate = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{RATE_LIMIT_ENV_VAR}={raw!r} is not a number (requests per second)"
+            ) from None
+    if rate <= 0:
+        return None
+    return RateLimiter(rate, clock=clock)

@@ -10,26 +10,39 @@ memoizes all three:
   dataset name, or a content hash for inline edge lists — and kept in an
   LRU of ``capacity`` entries;
 * **prep plans** are keyed by ``(graph key, backend, k, prep mode,
-  θ_L, θ_R)`` — everything the deterministic conversion + reduction +
-  ordering depends on — in their own, larger LRU (evicting a graph also
-  drops its plans: a plan holds the converted graph alive).
+  θ_L, θ_R, …, epoch)`` — everything the deterministic conversion +
+  reduction + ordering depends on — in their own, larger LRU (evicting a
+  graph also drops its plans: a plan holds the converted graph alive).
 
 Hit/miss counters are part of the contract: the acceptance test (and the
 ``/v1/stats`` endpoint) assert that the *second* identical query performs
 zero loads, zero conversions and zero reductions — ``graph_hits`` and
 ``plan_hits`` move instead.  All methods are thread-safe.
+
+Mutable epochs
+--------------
+Hot graphs are mutable: :meth:`HotGraphRegistry.apply_update` applies one
+edge batch (:meth:`repro.graph.BipartiteGraph.apply_batch`) to the resident
+graph *and* to every cached backend conversion of it, bumping their shared
+epoch counter by one.  Because the epoch is part of the plan key, the
+update invalidates exactly the stale plans — the graph itself stays hot.
+The registry also keeps a short per-graph log of applied batches so that
+the next ``get_plan`` miss can hand the superseded plan plus the batches
+to :func:`repro.prep.reprepare`, which repairs the reduction locally
+instead of re-running it from scratch (content-identical result — cursor
+fingerprints don't care which path built the plan).
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
-from collections import OrderedDict
-from typing import Callable, Optional, Tuple
+from collections import OrderedDict, deque
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..graph.protocol import as_backend
 from ..obs import get_registry
-from ..prep import prepare
+from ..prep import prepare, reprepare
 
 #: Default number of hot graphs kept resident.
 DEFAULT_GRAPH_CAPACITY = 8
@@ -37,6 +50,11 @@ DEFAULT_GRAPH_CAPACITY = 8
 #: Prep plans kept per registry (across all graphs): one graph commonly
 #: serves several (k, θ) parameterizations, so the plan LRU is larger.
 DEFAULT_PLAN_CAPACITY = 64
+
+#: Update-log entries retained per hot graph.  A plan whose epoch trails
+#: the graph's by more than this many batches loses its incremental-repair
+#: eligibility and is rebuilt from scratch.
+DEFAULT_UPDATE_LOG = 64
 
 
 def inline_graph_key(n_left: int, n_right: int, edges) -> Tuple[str, str]:
@@ -63,12 +81,22 @@ class HotGraphRegistry:
         self._lock = threading.RLock()
         self._graphs: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
         self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        # Cached backend conversions of resident graphs, keyed by
+        # (graph key, backend).  Kept in epoch lockstep with their source
+        # by apply_update; dropped together with the graph.
+        self._converted: "OrderedDict[Tuple[Tuple[str, str], str], object]" = OrderedDict()
+        # Per-graph log of applied batches: (from_epoch, inserts, deletes),
+        # each entry advancing the epoch by exactly one.
+        self._updates: dict = {}
         self.graph_loads = 0
         self.graph_hits = 0
         self.plans_built = 0
+        self.plans_repaired = 0
         self.plan_hits = 0
         self.graph_evictions = 0
         self.plan_evictions = 0
+        self.updates_applied = 0
+        self.plan_invalidations = 0
 
     # ------------------------------------------------------------------ #
     def get_graph(self, key: Tuple[str, str], loader: Callable[[], object]):
@@ -127,8 +155,17 @@ class HotGraphRegistry:
         ``enumerate`` query must never alias a solver query's once
         bound-aware preparation differentiates them, and the cache contract
         should not silently change when that lands.
+
+        The graph's current epoch is the key's last component, so a plan
+        prepared before an update simply never matches again.  A miss whose
+        only cause is an epoch bump is repaired incrementally via
+        :func:`repro.prep.reprepare` from the superseded plan and the
+        logged batches (which the repair consumes as touched-endpoint
+        hints), then the superseded entry is dropped.
         """
-        plan_key = (key, backend, k, prep, theta_left, theta_right, order_strategy, mode)
+        epoch = getattr(graph, "epoch", 0)
+        params = (key, backend, k, prep, theta_left, theta_right, order_strategy, mode)
+        plan_key = params + (epoch,)
         metrics = get_registry()
         with self._lock:
             plan = self._plans.get(plan_key)
@@ -138,18 +175,42 @@ class HotGraphRegistry:
                 if metrics.enabled:
                     metrics.inc("registry_cache_total", cache="plan", outcome="hit")
                 return plan
+            previous, inserts, deletes, previous_key = self._repair_basis(
+                params, epoch
+            )
         if metrics.enabled:
             metrics.inc("registry_cache_total", cache="plan", outcome="miss")
-        converted = as_backend(graph, backend)
-        plan = prepare(
-            converted,
-            k,
-            prep,
-            theta_left=theta_left,
-            theta_right=theta_right,
-            order_strategy=order_strategy,
-        )
+        converted = self._converted_graph(key, graph, backend)
+        if previous is not None:
+            plan = reprepare(
+                converted,
+                k,
+                previous,
+                inserts=inserts,
+                deletes=deletes,
+                mode=prep,
+                theta_left=theta_left,
+                theta_right=theta_right,
+                order_strategy=order_strategy,
+            )
+            if metrics.enabled:
+                metrics.inc("registry_plan_builds_total", path="repair")
+        else:
+            plan = prepare(
+                converted,
+                k,
+                prep,
+                theta_left=theta_left,
+                theta_right=theta_right,
+                order_strategy=order_strategy,
+            )
+            if metrics.enabled:
+                metrics.inc("registry_plan_builds_total", path="scratch")
         with self._lock:
+            if previous is not None:
+                self.plans_repaired += 1
+                # The superseded plan did its last job as the repair basis.
+                self._plans.pop(previous_key, None)
             self.plans_built += 1
             self._plans[plan_key] = plan
             self._plans.move_to_end(plan_key)
@@ -158,12 +219,122 @@ class HotGraphRegistry:
                 self.plan_evictions += 1
         return plan
 
+    def _converted_graph(self, key: Tuple[str, str], graph, backend: str):
+        """The backend conversion of ``graph``, cached and epoch-stamped.
+
+        Conversions are fresh objects whose counters restart at 0, so a
+        conversion made *after* updates landed is stamped with the source's
+        epoch; from then on :meth:`apply_update` mutates source and
+        conversions together, keeping them in lockstep.
+        """
+        with self._lock:
+            converted = self._converted.get((key, backend))
+            if converted is not None:
+                return converted
+        converted = as_backend(graph, backend)
+        if converted is not graph and hasattr(converted, "reset_epoch"):
+            converted.reset_epoch(getattr(graph, "epoch", 0))
+        with self._lock:
+            return self._converted.setdefault((key, backend), converted)
+
+    def _repair_basis(self, params: tuple, epoch: int):
+        """The newest superseded plan for ``params`` plus its covering batches.
+
+        Returns ``(plan, inserts, deletes, plan_key)`` or
+        ``(None, (), (), None)`` when no cached predecessor exists or the
+        update log no longer covers the epoch gap.  Caller holds the lock.
+        """
+        best_epoch = -1
+        best_key = None
+        for cached_key in self._plans:
+            if cached_key[:-1] == params and cached_key[-1] < epoch:
+                if cached_key[-1] > best_epoch:
+                    best_epoch = cached_key[-1]
+                    best_key = cached_key
+        if best_key is None:
+            return None, (), (), None
+        log = self._updates.get(params[0], ())
+        covering = {entry[0]: entry for entry in log}
+        inserts: List[Tuple[int, int]] = []
+        deletes: List[Tuple[int, int]] = []
+        for step in range(best_epoch, epoch):
+            entry = covering.get(step)
+            if entry is None:
+                # The gap includes an epoch the log never saw (out-of-band
+                # mutation or a trimmed log) — repair would be unsound.
+                return None, (), (), None
+            inserts.extend(entry[1])
+            deletes.extend(entry[2])
+        return self._plans[best_key], inserts, deletes, best_key
+
+    # ------------------------------------------------------------------ #
+    def apply_update(
+        self,
+        key: Tuple[str, str],
+        inserts: Iterable[Tuple[int, int]] = (),
+        deletes: Iterable[Tuple[int, int]] = (),
+    ) -> dict:
+        """Apply one edge batch to the hot graph ``key`` (and its conversions).
+
+        Raises :class:`KeyError` when the graph is not resident — an update
+        targets a *hot* graph; loading one just to mutate it would silently
+        discard the batch on the next cold load anyway.  Returns a dict with
+        the new ``epoch``, the ``added`` / ``removed`` counts and how many
+        cached plans went stale.
+        """
+        inserts = [tuple(edge) for edge in inserts]
+        deletes = [tuple(edge) for edge in deletes]
+        metrics = get_registry()
+        with self._lock:
+            graph = self._graphs.get(key)
+            if graph is None:
+                raise KeyError(f"graph {key!r} is not resident in the registry")
+            # The source graph and its conversions are distinct objects in
+            # lockstep — except backends where as_backend was a no-op and
+            # the "conversion" IS the source.  Dedupe by identity so the
+            # batch lands exactly once per object.
+            targets = {id(graph): graph}
+            for (graph_key, _backend), converted in self._converted.items():
+                if graph_key == key:
+                    targets.setdefault(id(converted), converted)
+            from_epoch = getattr(graph, "epoch", 0)
+            added = removed = 0
+            for target in targets.values():
+                added, removed = target.apply_batch(inserts, deletes)
+            new_epoch = getattr(graph, "epoch", 0)
+            invalidated = 0
+            if new_epoch != from_epoch:
+                log = self._updates.setdefault(key, deque(maxlen=DEFAULT_UPDATE_LOG))
+                log.append((from_epoch, tuple(inserts), tuple(deletes)))
+                invalidated = sum(
+                    1
+                    for cached_key in self._plans
+                    if cached_key[0] == key and cached_key[-1] != new_epoch
+                )
+                self.updates_applied += 1
+                self.plan_invalidations += invalidated
+                if metrics.enabled:
+                    metrics.inc("registry_updates_total")
+                    if invalidated:
+                        metrics.inc(
+                            "registry_invalidation_total", invalidated, cache="plan"
+                        )
+        return {
+            "epoch": new_epoch,
+            "added": added,
+            "removed": removed,
+            "plans_invalidated": invalidated,
+        }
+
     # ------------------------------------------------------------------ #
     def _drop_plans_for(self, graph_key: Tuple[str, str]) -> None:
         stale = [k for k in self._plans if k[0] == graph_key]
         for k in stale:
             del self._plans[k]
             self.plan_evictions += 1
+        for conv_key in [ck for ck in self._converted if ck[0] == graph_key]:
+            del self._converted[conv_key]
+        self._updates.pop(graph_key, None)
 
     def invalidate(self, key: Tuple[str, str]) -> bool:
         """Drop one graph (and its plans); returns whether it was cached."""
@@ -176,6 +347,8 @@ class HotGraphRegistry:
         with self._lock:
             self._graphs.clear()
             self._plans.clear()
+            self._converted.clear()
+            self._updates.clear()
 
     def counters(self) -> dict:
         """Snapshot of the hit/miss counters plus current occupancy."""
@@ -186,7 +359,10 @@ class HotGraphRegistry:
                 "graph_evictions": self.graph_evictions,
                 "graphs_resident": len(self._graphs),
                 "plans_built": self.plans_built,
+                "plans_repaired": self.plans_repaired,
                 "plan_hits": self.plan_hits,
                 "plan_evictions": self.plan_evictions,
                 "plans_resident": len(self._plans),
+                "updates_applied": self.updates_applied,
+                "plan_invalidations": self.plan_invalidations,
             }

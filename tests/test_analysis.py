@@ -208,3 +208,42 @@ class TestFraudStudy:
         assert "(a,b)-core" in structures
         best = report.best_f1_by_structure()
         assert best.get("1-biplex", 0) > 0
+
+
+class TestStreamingFraudStudy:
+    def test_camouflage_split_reconstructs_full_graph(self, small_study_config):
+        from repro.analysis.fraud import streaming_camouflage_edges
+
+        base, injection, camouflage = streaming_camouflage_edges(small_study_config)
+        full, full_injection = build_study_graph(small_study_config)
+        assert injection.fake_users == full_injection.fake_users
+        assert injection.fake_products == full_injection.fake_products
+        assert len(camouflage) == small_study_config.n_camouflage_reviews
+        merged = sorted(set(base.edges()) | set(camouflage))
+        assert merged == sorted(full.edges())
+        assert not set(camouflage) & set(base.edges())
+
+    def test_streaming_study_tracks_the_attack(self, small_study_config):
+        from repro.analysis.fraud import run_streaming_fraud_study
+        from repro.graph.cores import alpha_beta_core
+        from repro.graph.dynamic import recomputed_oracle
+
+        report = run_streaming_fraud_study(small_study_config, num_batches=4)
+        assert len(report.batches) == 4
+        assert [b.epoch for b in report.batches] == [1, 2, 3, 4]
+        arrived = [b.edges_arrived for b in report.batches]
+        assert arrived == sorted(arrived)  # cumulative
+        assert arrived[-1] == len(report.camouflage_edges)
+        # After the last batch the maintained state equals a from-scratch
+        # recompute on the mutated graph.
+        final = report.batches[-1]
+        total, _supports, core = recomputed_oracle(
+            report.graph, report.alpha, report.beta
+        )
+        assert final.butterfly_count == total
+        assert (final.core_users, final.core_products) == (
+            len(core[0]),
+            len(core[1]),
+        )
+        left, right = alpha_beta_core(report.graph, report.alpha, report.beta)
+        assert (set(left), set(right)) == core

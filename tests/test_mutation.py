@@ -1,0 +1,422 @@
+"""Differential tests for mutable-graph epochs (the ISSUE 10 tentpole).
+
+Three differential contracts, each checked under seeded random
+insert/delete sequences:
+
+* **substrates** — after any mutation sequence, every backend's adjacency
+  equals a graph rebuilt from scratch, and enumeration (all three modes)
+  on the mutated object equals enumeration on the rebuild;
+* **indices** — :class:`repro.graph.dynamic.DynamicGraphIndex` equals the
+  from-scratch oracle (butterfly supports/total, (α, β)-core, k-bitruss)
+  after every batch;
+* **plans and cursors** — ``reprepare`` is content-identical to a
+  from-scratch ``prepare`` on the mutated graph, and a cursor minted
+  before an update is rejected as stale *exactly* when the epoch moved.
+
+Plus the service/HTTP satellites that ride on the epoch machinery:
+update-route validation, epoch-keyed cache invalidation with plan repair,
+the 404s for unknown sessions, and the token-bucket rate limiter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from backend_matrix import ALL_BACKENDS, random_graphs
+
+from repro.core import StaleCursorError
+from repro.core.itraversal import ITraversal, enumerate_mbps
+from repro.graph import BipartiteGraph, as_backend
+from repro.graph.butterfly import edge_butterfly_counts, k_bitruss
+from repro.graph.dynamic import DynamicGraphIndex, recomputed_oracle
+from repro.prep import prepare, reprepare
+from repro.service import (
+    QueryError,
+    QueryService,
+    RateLimiter,
+    ServiceStaleCursorError,
+    limiter_from_env,
+)
+
+GRAPHS = random_graphs(4, max_side=5, seed=101)
+
+
+def mutation_script(graph, steps, seed):
+    """A seeded insert/delete schedule over ``graph``'s vertex space.
+
+    Yields ``(inserts, deletes)`` batches mixing edges that exist, edges
+    that don't (noops for the other operation) and repeats.
+    """
+    rng = random.Random(seed)
+    all_pairs = [
+        (v, u) for v in range(graph.n_left) for u in range(graph.n_right)
+    ]
+    batches = []
+    for _ in range(steps):
+        inserts = [rng.choice(all_pairs) for _ in range(rng.randint(0, 3))]
+        deletes = [rng.choice(all_pairs) for _ in range(rng.randint(0, 3))]
+        batches.append((inserts, deletes))
+    return batches
+
+
+def apply_script(graph, batches):
+    for inserts, deletes in batches:
+        graph.apply_batch(inserts=inserts, deletes=deletes)
+
+
+def rebuilt(graph):
+    """A fresh set-backend graph with the mutated graph's exact edges."""
+    return BipartiteGraph(graph.n_left, graph.n_right, sorted(graph.edges()))
+
+
+# --------------------------------------------------------------------- #
+# Epoch semantics
+# --------------------------------------------------------------------- #
+class TestEpochSemantics:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_epoch_counts_effective_mutations_only(self, backend):
+        graph = as_backend(BipartiteGraph(3, 3, [(0, 0), (1, 1)]), backend)
+        assert graph.epoch == 0
+        assert graph.add_edge(0, 1) is True
+        assert graph.epoch == 1
+        assert graph.add_edge(0, 1) is False  # already present: no bump
+        assert graph.epoch == 1
+        assert graph.remove_edge(2, 2) is False  # absent: no bump
+        assert graph.epoch == 1
+        assert graph.remove_edge(0, 1) is True
+        assert graph.epoch == 2
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_apply_batch_bumps_once_and_reports_effects(self, backend):
+        graph = as_backend(BipartiteGraph(3, 3, [(0, 0), (1, 1)]), backend)
+        added, removed = graph.apply_batch(
+            inserts=[(0, 1), (0, 1), (0, 0)], deletes=[(1, 1), (2, 2)]
+        )
+        assert (added, removed) == (1, 1)
+        assert graph.epoch == 1
+        # A batch of pure noops must not bump.
+        assert graph.apply_batch(inserts=[(0, 0)], deletes=[(2, 2)]) == (0, 0)
+        assert graph.epoch == 1
+
+    def test_vertex_growth_bumps_epoch(self):
+        graph = BipartiteGraph(2, 2, [(0, 0)])
+        assert graph.add_left_vertex() == 2
+        assert graph.add_right_vertex() == 2
+        assert graph.epoch == 2
+        assert graph.add_edge(2, 2)
+        assert graph.epoch == 3
+
+    def test_copies_restart_at_epoch_zero(self):
+        graph = BipartiteGraph(2, 2, [(0, 0)])
+        graph.add_edge(1, 1)
+        assert graph.epoch == 1
+        assert graph.copy().epoch == 0
+
+
+# --------------------------------------------------------------------- #
+# Substrate differential: mutated object == rebuilt graph
+# --------------------------------------------------------------------- #
+class TestMutationDifferential:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_adjacency_equals_rebuild_after_random_script(self, backend):
+        for index, base in enumerate(GRAPHS):
+            graph = as_backend(base.copy(), backend)
+            apply_script(graph, mutation_script(graph, steps=6, seed=index))
+            reference = rebuilt(graph)
+            assert sorted(graph.edges()) == sorted(reference.edges())
+            for v in range(graph.n_left):
+                assert set(graph.neighbors_of_left(v)) == set(
+                    reference.neighbors_of_left(v)
+                )
+            for u in range(graph.n_right):
+                assert set(graph.neighbors_of_right(u)) == set(
+                    reference.neighbors_of_right(u)
+                )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("k", (1, 2))
+    def test_enumeration_after_updates_equals_rebuild(self, backend, k):
+        for index, base in enumerate(GRAPHS):
+            graph = as_backend(base.copy(), backend)
+            apply_script(graph, mutation_script(graph, steps=6, seed=17 + index))
+            mutated = ITraversal(graph, k).enumerate()
+            reference = ITraversal(rebuilt(graph), k).enumerate()
+            assert sorted(mutated) == sorted(reference), f"{backend} k={k} g{index}"
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_solver_modes_after_updates_equal_rebuild(self, backend):
+        for index, base in enumerate(GRAPHS):
+            graph = as_backend(base.copy(), backend)
+            apply_script(graph, mutation_script(graph, steps=5, seed=31 + index))
+            reference = rebuilt(graph)
+            for mode, extra in (("maximum", {}), ("top-k", {"top": 3})):
+                got, _ = enumerate_mbps(graph, 1, mode=mode, **extra)
+                want, _ = enumerate_mbps(reference, 1, mode=mode, **extra)
+                assert got == want, f"{backend} {mode} g{index}"
+
+    def test_grown_vertices_are_enumerable(self):
+        graph = BipartiteGraph(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        v = graph.add_left_vertex()
+        u = graph.add_right_vertex()
+        graph.apply_batch(inserts=[(v, 0), (v, 1), (v, u), (0, u), (1, u)])
+        assert sorted(ITraversal(graph, 1).enumerate()) == sorted(
+            ITraversal(rebuilt(graph), 1).enumerate()
+        )
+
+
+# --------------------------------------------------------------------- #
+# Incremental indices vs the recomputed oracle
+# --------------------------------------------------------------------- #
+class TestIncrementalIndices:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_indices_match_oracle_after_every_batch(self, backend):
+        for index, base in enumerate(GRAPHS):
+            graph = as_backend(base.copy(), backend)
+            alpha, beta = 2, 2
+            dyn = DynamicGraphIndex(graph, alpha=alpha, beta=beta)
+            for inserts, deletes in mutation_script(graph, steps=6, seed=47 + index):
+                dyn.apply(inserts=inserts, deletes=deletes)
+                total, supports, core = recomputed_oracle(graph, alpha, beta)
+                label = f"{backend} g{index} epoch={graph.epoch}"
+                assert dyn.butterfly_count == total, label
+                assert dyn.butterflies.supports == supports, label
+                assert tuple(map(set, dyn.core_members)) == core, label
+
+    def test_bitruss_from_maintained_supports_matches_scratch(self):
+        base = GRAPHS[0].copy()
+        dyn = DynamicGraphIndex(base)
+        apply_batches = mutation_script(base, steps=5, seed=7)
+        for inserts, deletes in apply_batches:
+            dyn.apply(inserts=inserts, deletes=deletes)
+        for k in (1, 2):
+            maintained = dyn.bitruss(k)
+            scratch = k_bitruss(rebuilt(base), k)
+            assert sorted(maintained.edges()) == sorted(scratch.edges())
+
+    def test_index_apply_mirrors_batch_epoch_contract(self):
+        graph = BipartiteGraph(3, 3, [(0, 0), (1, 1), (2, 2)])
+        dyn = DynamicGraphIndex(graph, alpha=1, beta=1)
+        assert dyn.apply(inserts=[(0, 1)], deletes=[(2, 2)]) == (1, 1)
+        assert graph.epoch == 1
+        assert dyn.apply(inserts=[(0, 1)]) == (0, 0)  # noop batch
+        assert graph.epoch == 1
+        # Supports stayed a closed set: no stale entries for removed edges.
+        assert dyn.butterflies.supports == edge_butterfly_counts(graph)
+
+
+# --------------------------------------------------------------------- #
+# Plan repair: reprepare == prepare from scratch
+# --------------------------------------------------------------------- #
+class TestReprepare:
+    @staticmethod
+    def _plan_content(plan):
+        graph = plan.graph
+        return (
+            plan.mode,
+            graph.n_left,
+            graph.n_right,
+            sorted(graph.edges()),
+            plan.left_map,
+            plan.right_map,
+            plan.left_order,
+            plan.right_order,
+            plan.removed_left,
+            plan.removed_right,
+            plan.removed_edges,
+            plan.order_strategy,
+            plan.epoch,
+            plan.core_left,
+            plan.core_right,
+        )
+
+    @pytest.mark.parametrize("mode", ("core", "core+order"))
+    def test_reprepare_is_content_identical_to_prepare(self, mode):
+        for index, base in enumerate(GRAPHS):
+            graph = base.copy()
+            previous = prepare(graph, 1, mode=mode, theta_left=2, theta_right=2)
+            for inserts, deletes in mutation_script(graph, steps=4, seed=index):
+                applied_in, applied_del = [], []
+                for edge in inserts:
+                    if graph.add_edge(*edge):
+                        applied_in.append(edge)
+                for edge in deletes:
+                    if graph.remove_edge(*edge):
+                        applied_del.append(edge)
+                repaired = reprepare(
+                    graph,
+                    1,
+                    previous,
+                    inserts=applied_in,
+                    deletes=applied_del,
+                    mode=mode,
+                    theta_left=2,
+                    theta_right=2,
+                )
+                scratch = prepare(graph, 1, mode=mode, theta_left=2, theta_right=2)
+                assert self._plan_content(repaired) == self._plan_content(
+                    scratch
+                ), f"{mode} g{index} epoch={graph.epoch}"
+                previous = repaired
+
+
+# --------------------------------------------------------------------- #
+# Stale cursors: rejected exactly when the epoch moved
+# --------------------------------------------------------------------- #
+def small_query(graph, **overrides):
+    query = {
+        "graph": {
+            "n_left": graph.n_left,
+            "n_right": graph.n_right,
+            "edges": [list(edge) for edge in sorted(graph.edges())],
+        },
+        "k": 1,
+    }
+    query.update(overrides)
+    return query
+
+
+class TestStaleCursors:
+    # 6 maximal 1-biplexes, so pagination has pages left after the first;
+    # (3, 3) is absent and is the edge the update tests insert.
+    GRAPH = BipartiteGraph(
+        4, 4, [(v, u) for v in range(4) for u in range(4) if (v + u) % 3]
+    )
+
+    def test_engine_cursor_rejected_after_epoch_change(self):
+        from repro.core import EnumerationSession
+
+        graph = self.GRAPH.copy()
+        session = EnumerationSession(graph, 1)
+        session.next_batch(2)
+        cursor = session.cursor()
+        # Same epoch: resumes fine.
+        resumed = EnumerationSession.resume(graph, 1, cursor)
+        assert resumed.next_batch(1)
+        graph.add_edge(3, 3)
+        with pytest.raises(StaleCursorError, match="epoch"):
+            EnumerationSession.resume(graph, 1, cursor)
+
+    def test_service_cursor_stale_only_after_update(self):
+        service = QueryService()
+        query = small_query(self.GRAPH)
+        opened = service.open_session(query, page_size=2)
+        cursor = opened["cursor"]
+        # No update yet: the cursor resumes.
+        assert service.next_page(cursor=cursor)["solutions"]
+        service.update({"graph": query["graph"], "insert": [[3, 3]]})
+        with pytest.raises(ServiceStaleCursorError):
+            service.next_page(cursor=cursor)
+        # A cursor minted *after* the update is good again.
+        fresh = service.open_session(small_query(self.GRAPH), page_size=2)
+        assert service.next_page(cursor=fresh["cursor"])["solutions"]
+
+    def test_noop_update_keeps_cursors_valid(self):
+        service = QueryService()
+        query = small_query(self.GRAPH)
+        opened = service.open_session(query, page_size=2)
+        cursor = opened["cursor"]
+        outcome = service.update(
+            {"graph": query["graph"], "insert": [[0, 1]]}  # already present
+        )
+        assert outcome["epoch"] == 0
+        assert (outcome["added"], outcome["removed"]) == (0, 0)
+        assert service.next_page(cursor=cursor)["solutions"]
+
+
+# --------------------------------------------------------------------- #
+# Service update path: validation, cache invalidation, plan repair
+# --------------------------------------------------------------------- #
+class TestServiceUpdate:
+    def test_update_invalidates_and_repairs(self):
+        service = QueryService()
+        graph = TestStaleCursors.GRAPH
+        query = small_query(graph)
+        before = service.enumerate(query)
+        assert service.enumerate(query)["cached"]
+        outcome = service.update({"graph": query["graph"], "insert": [[3, 3]]})
+        assert outcome["epoch"] == 1
+        assert outcome["added"] == 1
+        assert outcome["plans_invalidated"] == 1
+        assert outcome["results_invalidated"] == 1
+        after = service.enumerate(query)
+        assert not after["cached"]
+        assert service.registry.counters()["plans_repaired"] == 1
+        # The post-update answer equals a cold service on the mutated graph.
+        mutated = graph.copy()
+        mutated.add_edge(3, 3)
+        cold = QueryService().enumerate(small_query(mutated))
+        assert after["solutions"] == cold["solutions"]
+        assert before["solutions"] != after["solutions"]
+
+    def test_update_validation_errors(self):
+        service = QueryService()
+        query = small_query(TestStaleCursors.GRAPH)
+        service.enumerate(query)
+        with pytest.raises(QueryError, match="non-empty insert or delete"):
+            service.update({"graph": query["graph"]})
+        with pytest.raises(QueryError, match="out of range"):
+            service.update({"graph": query["graph"], "insert": [[99, 0]]})
+        with pytest.raises(QueryError, match="unknown update field"):
+            service.update({"graph": query["graph"], "insert": [[0, 0]], "k": 1})
+        with pytest.raises(QueryError, match="insert"):
+            service.update({"graph": query["graph"], "insert": [[0]]})
+
+    def test_update_of_unloaded_graph_is_a_query_error(self):
+        service = QueryService()
+        with pytest.raises(QueryError):
+            service.update({"graph": {"path": "/nonexistent.txt"}, "insert": [[0, 0]]})
+
+    def test_stats_report_update_counters(self):
+        service = QueryService()
+        query = small_query(TestStaleCursors.GRAPH)
+        service.enumerate(query)
+        service.update({"graph": query["graph"], "insert": [[3, 3]]})
+        stats = service.stats()
+        assert stats["updates"] == 1
+        assert stats["results_invalidated"] == 1
+        assert stats["updates_applied"] == 1
+        assert stats["plan_invalidations"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Rate limiter
+# --------------------------------------------------------------------- #
+class TestRateLimiter:
+    def test_token_bucket_with_injected_clock(self):
+        clock = {"now": 0.0}
+        limiter = RateLimiter(rate=2.0, burst=2, clock=lambda: clock["now"])
+        assert limiter.allow("a") == (True, 0.0)
+        assert limiter.allow("a") == (True, 0.0)
+        allowed, retry = limiter.allow("a")
+        assert not allowed and retry == pytest.approx(0.5)
+        # Another client has its own bucket.
+        assert limiter.allow("b")[0]
+        # Refill restores capacity.
+        clock["now"] = 1.0
+        assert limiter.allow("a")[0]
+
+    def test_rejection_counter(self):
+        limiter = RateLimiter(rate=1.0, burst=1, clock=lambda: 0.0)
+        limiter.allow("a")
+        limiter.allow("a")
+        assert limiter.rejected == 1
+
+    def test_limiter_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RATE_LIMIT", raising=False)
+        assert limiter_from_env() is None
+        assert limiter_from_env(rate=5.0).rate == 5.0
+        monkeypatch.setenv("REPRO_RATE_LIMIT", "2.5")
+        assert limiter_from_env().rate == 2.5
+        assert limiter_from_env(rate=9.0).rate == 9.0  # explicit beats env
+        monkeypatch.setenv("REPRO_RATE_LIMIT", "0")
+        assert limiter_from_env() is None
+        monkeypatch.setenv("REPRO_RATE_LIMIT", "not-a-number")
+        with pytest.raises(ValueError):
+            limiter_from_env()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0.5)

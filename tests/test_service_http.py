@@ -192,3 +192,240 @@ class TestQueryCLI:
         )
         assert code == 0
         assert json.loads(out)["solutions"] == expected_solutions()
+
+
+# --------------------------------------------------------------------- #
+# Mutable epochs over the wire (PR 10): /v1/update, stale cursors,
+# unknown-session 404s, the rate limiter, and the query-CLI additions.
+# --------------------------------------------------------------------- #
+from contextlib import contextmanager
+
+from repro.graph import BipartiteGraph
+from repro.service import RateLimiter
+
+
+@contextmanager
+def live_daemon(server: ServiceHTTPServer):
+    """Boot ``server`` on a background loop; yields its base URL."""
+    started = threading.Event()
+    loop_holder = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder["loop"] = loop
+
+        async def boot():
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(boot())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.run_until_complete(server.aclose())
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10), "daemon failed to start"
+    try:
+        yield f"http://127.0.0.1:{server.port}"
+    finally:
+        loop = loop_holder["loop"]
+        for task in asyncio.all_tasks(loop):
+            loop.call_soon_threadsafe(task.cancel)
+        thread.join(timeout=10)
+
+
+def inline_query(**overrides):
+    """An inline graph spec (own registry key: no cross-test interference)."""
+    graph = BipartiteGraph(
+        4, 4, [(v, u) for v in range(4) for u in range(4) if (v + u) % 3]
+    )
+    query = {
+        "graph": {
+            "n_left": 4,
+            "n_right": 4,
+            "edges": [list(edge) for edge in sorted(graph.edges())],
+        },
+        "k": 1,
+    }
+    query.update(overrides)
+    return query
+
+
+class TestUpdateRoute:
+    def test_update_then_stale_cursor_409(self, daemon):
+        query = inline_query()
+        status, page = http_json(
+            daemon, "POST", "/v1/enumerate",
+            {"query": query, "paginate": True, "page_size": 2},
+        )
+        assert status == 200
+        before = page["status"]["num_solutions"]
+
+        status, outcome = http_json(
+            daemon, "POST", "/v1/update",
+            {"graph": query["graph"], "insert": [[3, 3]]},
+        )
+        assert status == 200
+        assert outcome["epoch"] == 1 and outcome["added"] == 1
+        assert outcome["plans_invalidated"] >= 1
+
+        # The pre-update cursor is now stale: 409 with a machine code.
+        status, error = http_json(
+            daemon, "POST", "/v1/paginate", {"cursor": page["cursor"]}
+        )
+        assert status == 409
+        assert error["code"] == "stale_cursor"
+        assert "stale_cursor" in error["error"]
+
+        # A fresh query sees the mutated graph.
+        status, after = http_json(daemon, "POST", "/v1/enumerate", {"query": query})
+        assert status == 200
+        assert after["status"]["num_solutions"] != before
+
+    def test_update_validation_400s(self, daemon):
+        query = inline_query()
+        http_json(daemon, "POST", "/v1/enumerate", {"query": query})
+        status, error = http_json(
+            daemon, "POST", "/v1/update", {"graph": query["graph"]}
+        )
+        assert status == 400 and "non-empty" in error["error"]
+        status, error = http_json(
+            daemon, "POST", "/v1/update",
+            {"graph": query["graph"], "insert": [[99, 0]]},
+        )
+        assert status == 400 and "out of range" in error["error"]
+
+    def test_unknown_session_is_404_not_500(self, daemon):
+        status, error = http_json(
+            daemon, "POST", "/v1/cancel", {"session_id": "never-existed"}
+        )
+        assert status == 404
+        assert error["code"] == "unknown_session"
+        assert "never-existed" in error["error"]
+        status, error = http_json(
+            daemon, "POST", "/v1/paginate", {"session_id": "never-existed"}
+        )
+        assert status == 404
+        # Type confusion stays a 400, not a 500.
+        assert http_json(daemon, "POST", "/v1/cancel", {"session_id": 7})[0] == 400
+        assert http_json(
+            daemon, "POST", "/v1/paginate", {"session_id": 7}
+        )[0] == 400
+        assert http_json(
+            daemon, "POST", "/v1/paginate", {"cursor": "x", "page_size": "many"}
+        )[0] == 400
+
+
+class TestRateLimitedDaemon:
+    def test_429_with_retry_after_then_recovery(self):
+        clock = {"now": 0.0}
+        limiter = RateLimiter(rate=1.0, burst=2, clock=lambda: clock["now"])
+        server = ServiceHTTPServer(port=0, limiter=limiter)
+        with live_daemon(server) as url:
+            import urllib.error
+            import urllib.request
+
+            assert http_json(url, "GET", "/healthz") == (200, {"ok": True})
+            assert http_json(url, "GET", "/healthz") == (200, {"ok": True})
+            request = urllib.request.Request(url + "/healthz")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "1"
+            body = json.loads(excinfo.value.read())
+            assert body["error"] == "rate limit exceeded"
+            assert body["retry_after"] == 1
+            # Refill: the same client is welcome again.
+            clock["now"] = 5.0
+            assert http_json(url, "GET", "/healthz") == (200, {"ok": True})
+            # The rejection shows up in the metrics snapshot.
+            status, metrics = http_json(url, "GET", "/v1/metrics")
+            assert status == 200
+            assert metrics["counters"].get("http_rate_limited_total", 0) >= 1
+
+
+class TestQueryUpdateCLI:
+    def test_update_roundtrip(self, daemon, tmp_path, capsys):
+        graph = BipartiteGraph(
+            4, 4, [(v, u) for v in range(4) for u in range(4) if (v + u) % 3]
+        )
+        path = tmp_path / "mutable.txt"
+        write_edge_list(graph, path)
+        code = cli_main(
+            ["query", "run", "--input", str(path), "--server", daemon,
+             "--format", "json"]
+        )
+        assert code == 0
+        before = json.loads(capsys.readouterr().out)["num_solutions"]
+        code = cli_main(
+            ["query", "update", "--input", str(path), "--server", daemon,
+             "--insert", "3:3"]
+        )
+        assert code == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["epoch"] == 1 and outcome["added"] == 1
+        code = cli_main(
+            ["query", "run", "--input", str(path), "--server", daemon,
+             "--format", "json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["num_solutions"] != before
+
+    def test_bad_edge_flag_is_a_clean_error(self, daemon, graph_file, capsys):
+        code = cli_main(
+            ["query", "update", "--input", graph_file, "--server", daemon,
+             "--insert", "3-3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not of the form L:R" in captured.err
+
+
+class TestStatsWatchCleanExit:
+    SNAPSHOT = {"schema": "repro-metrics/1", "series": []}
+
+    def test_ctrl_c_exits_zero(self, monkeypatch, capsys):
+        import time as time_module
+
+        monkeypatch.setattr(
+            "repro.cli._server_request", lambda *a, **k: dict(self.SNAPSHOT)
+        )
+
+        def interrupt(_seconds):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(time_module, "sleep", interrupt)
+        code = cli_main(
+            ["query", "stats", "--server", "http://unused", "--watch", "1"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_closed_pipe_exits_zero(self, monkeypatch):
+        import sys as sys_module
+
+        monkeypatch.setattr(
+            "repro.cli._server_request", lambda *a, **k: dict(self.SNAPSHOT)
+        )
+
+        class DeadPipe:
+            def write(self, _text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def fileno(self):
+                raise OSError("stream has no descriptor")
+
+        monkeypatch.setattr(sys_module, "stdout", DeadPipe())
+        code = cli_main(
+            ["query", "stats", "--server", "http://unused", "--watch", "1"]
+        )
+        assert code == 0
